@@ -1,0 +1,59 @@
+// Command sysdl analyzes and runs systolic programs written in the DSL
+// (see internal/dsl for the grammar):
+//
+//	sysdl check  prog.sys            # deadlock-free? (strict and lookahead)
+//	sysdl label  prog.sys            # §6 consistent labeling
+//	sysdl plan   prog.sys            # queue requirements (Theorem 1)
+//	sysdl run    prog.sys [flags]    # simulate
+//	sysdl render prog.sys            # program table + routes
+//
+// FILE may be '-' for stdin. Flags for run: -queues N -capacity N
+// -policy compatible|static|fcfs|lifo|random|adversarial -seed N
+// -lookahead -timeline -force.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"systolic/internal/cli"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+
+	opts := cli.DefaultSysdlOptions()
+	fs := flag.NewFlagSet("sysdl "+cmd, flag.ExitOnError)
+	opts.BindFlags(fs)
+	_ = fs.Parse(os.Args[3:])
+
+	src, err := readSource(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sysdl:", err)
+		os.Exit(1)
+	}
+	code, err := cli.Sysdl(os.Stdout, cmd, src, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sysdl:", err)
+	}
+	os.Exit(code)
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sysdl check|label|plan|run|render FILE [flags]  (FILE '-' = stdin)")
+	os.Exit(2)
+}

@@ -1,0 +1,58 @@
+// MatMul2D: C = A·B on a 2-D mesh — the paper's promised extension to
+// higher-dimensional arrays. A-rows flow east, B-columns flow south,
+// and each row's results converge on its easternmost cell through
+// multi-hop, mutually competing messages that genuinely exercise the
+// labeling and assignment machinery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"systolic"
+)
+
+func main() {
+	rows := flag.Int("rows", 4, "result rows (mesh rows)")
+	inner := flag.Int("inner", 5, "inner dimension")
+	cols := flag.Int("cols", 4, "result cols (mesh cols)")
+	flag.Parse()
+
+	w, err := systolic.MatMul(systolic.MatMulOptions{Rows: *rows, Inner: *inner, Cols: *cols})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s: %d cells, %d messages, %d ops\n",
+		w.Name, w.Topology.Name(), w.Program.NumCells(), w.Program.NumMessages(), w.Program.TotalOps())
+
+	a, err := systolic.Analyze(w.Program, w.Topology, systolic.AnalyzeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deadlock-free: %v; queues/link needed (compatible): %d, (static): %d\n",
+		a.DeadlockFree, a.MinQueuesDynamic, a.MinQueuesStatic)
+
+	res, err := systolic.Execute(a, systolic.ExecOptions{
+		Capacity: w.DefaultCapacity,
+		Logic:    w.Logic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(systolic.RenderRun(w.Program, res))
+	if err := w.CheckReceived(res.Received); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matrix product verified against direct computation ✓")
+
+	// Show why naive assignment is dangerous even here: starve the
+	// mesh of queues and let requests race.
+	starved, err := systolic.Execute(a, systolic.ExecOptions{
+		Policy: systolic.NaiveLIFO, QueuesPerLink: 1, Capacity: 1, Force: true, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive LIFO with 1 queue/link: %s\n", starved.Outcome())
+}

@@ -1,0 +1,234 @@
+// Package assign implements queue-assignment policies (§5 step 2, §7).
+//
+// During execution every message must be bound to one queue on every
+// link it crosses. The binding discipline decides whether queue-induced
+// deadlock can occur:
+//
+//   - Static (§7.1): every competing message gets its own queue before
+//     execution; trivially compatible with any consistent labeling.
+//   - Dynamic compatible (§7.2): queues are granted to competing
+//     messages strictly in label order (*ordered assignment*), and an
+//     equal-label group is granted distinct queues all at once
+//     (*simultaneous assignment*). Grants may happen before a message's
+//     header arrives — the paper's reservation remark.
+//   - Naive baselines (the discipline the paper's Figs 7–9 warn
+//     about): grant free queues to whoever asked, ordered FCFS, LIFO,
+//     seeded-random, or adversarially by descending label.
+package assign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// Context carries the compile-time information policies may use.
+type Context struct {
+	Program *model.Program
+	// Routes is indexed by message id.
+	Routes [][]topology.Hop
+	// Competing maps each link to the messages crossing it (any
+	// direction; the pool of queues on a link is shared and a queue's
+	// direction is set when bound, §2.3).
+	Competing map[topology.LinkID][]model.MessageID
+	// Labels are dense 1-based labels per message; nil when the
+	// driving pipeline skipped labeling (naive baselines tolerate
+	// that, Compatible does not).
+	Labels []int
+	// QueuesPerLink is the fixed number of queues on every link.
+	QueuesPerLink int
+}
+
+// Policy decides which competing messages are bound to free queues.
+// The simulator calls Grant once per link per cycle.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Setup validates the context and precomputes per-link state. It
+	// must be called exactly once before Grant.
+	Setup(ctx *Context) error
+	// Grant returns the messages to bind to free queues on link now.
+	// free is the number of unbound queues; pending lists messages
+	// with outstanding requests in arrival order. Grant must return
+	// at most free messages, each either pending or (for reserving
+	// policies) competing on the link and never granted before.
+	Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID
+}
+
+// Compatible returns the paper's dynamic compatible policy (§7.2):
+// per link, messages sorted by label; grants advance group by group in
+// label order, a group only when enough queues are simultaneously
+// free. Setup fails without labels. When an equal-label group is
+// larger than a link's queue pool (assumption (ii) of Theorem 1
+// violated), the policy simply never grants that group and the run
+// stalls into a detected deadlock — use verify.CheckPreconditions (or
+// core.Execute without Force) to refuse such configurations up front.
+func Compatible() Policy { return &compatible{} }
+
+type compatible struct {
+	order map[topology.LinkID][]model.MessageID // label-sorted competing
+	next  map[topology.LinkID]int               // first ungranted index
+	label []int
+}
+
+func (c *compatible) Name() string { return "compatible" }
+
+func (c *compatible) Setup(ctx *Context) error {
+	if ctx.Labels == nil {
+		return fmt.Errorf("assign: compatible policy requires labels")
+	}
+	c.label = ctx.Labels
+	c.order = make(map[topology.LinkID][]model.MessageID, len(ctx.Competing))
+	c.next = make(map[topology.LinkID]int, len(ctx.Competing))
+	for link, msgs := range ctx.Competing {
+		sorted := append([]model.MessageID(nil), msgs...)
+		sort.Slice(sorted, func(i, j int) bool {
+			li, lj := ctx.Labels[sorted[i]], ctx.Labels[sorted[j]]
+			if li != lj {
+				return li < lj
+			}
+			return sorted[i] < sorted[j]
+		})
+		c.order[link] = sorted
+		c.next[link] = 0
+	}
+	return nil
+}
+
+func (c *compatible) Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID {
+	order := c.order[link]
+	i := c.next[link]
+	var grants []model.MessageID
+	for i < len(order) {
+		// Identify the equal-label group starting at i.
+		j := i
+		for j < len(order) && c.label[order[j]] == c.label[order[i]] {
+			j++
+		}
+		if j-i > free {
+			break // the whole group must be granted simultaneously
+		}
+		grants = append(grants, order[i:j]...)
+		free -= j - i
+		i = j
+	}
+	c.next[link] = i
+	return grants
+}
+
+// Static returns the §7.1 static policy: every competing message gets
+// its own queue at cycle 0 and keeps it for the whole run. Setup fails
+// if any link has more competing messages than queues.
+func Static() Policy { return &static{} }
+
+type static struct {
+	competing map[topology.LinkID][]model.MessageID
+	done      map[topology.LinkID]bool
+}
+
+func (s *static) Name() string { return "static" }
+
+func (s *static) Setup(ctx *Context) error {
+	for link, msgs := range ctx.Competing {
+		if len(msgs) > ctx.QueuesPerLink {
+			return fmt.Errorf("assign: static policy: link %d has %d competing messages but %d queues",
+				link, len(msgs), ctx.QueuesPerLink)
+		}
+	}
+	s.competing = ctx.Competing
+	s.done = make(map[topology.LinkID]bool)
+	return nil
+}
+
+func (s *static) Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID {
+	if s.done[link] {
+		return nil
+	}
+	s.done[link] = true
+	msgs := append([]model.MessageID(nil), s.competing[link]...)
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
+	return msgs
+}
+
+// Arbiter selects the order in which a naive policy serves pending
+// requests.
+type Arbiter int
+
+const (
+	// FCFS serves requests in arrival order.
+	FCFS Arbiter = iota
+	// LIFO serves the most recent request first.
+	LIFO
+	// Random serves pending requests in seeded-random order.
+	Random
+	// LabelDescending serves the pending request with the largest
+	// label first — the adversary that reliably exhibits the
+	// queue-induced deadlocks of Figs 7–9. Requires labels.
+	LabelDescending
+)
+
+// String names the arbiter.
+func (a Arbiter) String() string {
+	switch a {
+	case FCFS:
+		return "fcfs"
+	case LIFO:
+		return "lifo"
+	case Random:
+		return "random"
+	case LabelDescending:
+		return "label-desc"
+	}
+	return fmt.Sprintf("arbiter(%d)", int(a))
+}
+
+// Naive returns a label-oblivious policy that binds free queues to
+// pending requesters in the arbiter's order. It never reserves: a
+// message is only granted after it asks. seed matters only for Random.
+func Naive(arb Arbiter, seed int64) Policy {
+	return &naive{arb: arb, seed: seed}
+}
+
+type naive struct {
+	arb    Arbiter
+	seed   int64
+	rng    *rand.Rand
+	labels []int
+}
+
+func (n *naive) Name() string { return "naive-" + n.arb.String() }
+
+func (n *naive) Setup(ctx *Context) error {
+	n.rng = rand.New(rand.NewSource(n.seed))
+	n.labels = ctx.Labels
+	if n.arb == LabelDescending && n.labels == nil {
+		return fmt.Errorf("assign: %s arbiter requires labels", n.arb)
+	}
+	return nil
+}
+
+func (n *naive) Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID {
+	if free <= 0 || len(pending) == 0 {
+		return nil
+	}
+	order := append([]model.MessageID(nil), pending...)
+	switch n.arb {
+	case FCFS:
+		// arrival order as given
+	case LIFO:
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	case Random:
+		n.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	case LabelDescending:
+		sort.SliceStable(order, func(i, j int) bool { return n.labels[order[i]] > n.labels[order[j]] })
+	}
+	if len(order) > free {
+		order = order[:free]
+	}
+	return order
+}

@@ -1,0 +1,186 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"systolic"
+)
+
+func TestAllFiguresRender(t *testing.T) {
+	var b strings.Builder
+	if err := AllFigures(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Figure 1", "speedup=6.33x",
+		"Figure 2", "W(XA)",
+		"Figure 3", "C1→C2, C2→C3, C3→C4",
+		"Figure 4", "Step 12",
+		"Figure 5", "strict: deadlock-free=false; lookahead(budget 2): deadlock-free=true",
+		"Figure 6", "deadlock-free: true",
+		"Figure 7", "naive FCFS assignment, 1 queue/link: deadlocked",
+		"compatible assignment, 1 queue/link: completed",
+		"Figure 8", "minimum queues/link for compatible assignment: 2",
+		"Figure 9",
+		"Figure 10", "pair 1: message B (skips 2 writes)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figures output missing %q", want)
+		}
+	}
+}
+
+func TestFigureUnknown(t *testing.T) {
+	var b strings.Builder
+	if err := Figure(&b, 42); err == nil {
+		t.Fatal("figure 42 accepted")
+	}
+}
+
+const sampleDSL = `
+cell Host host
+cell C1
+cell C2
+message IN Host C1 3
+message MID C1 C2 3
+message OUT C2 Host 3
+code Host: W(IN) W(IN) R(OUT) W(IN) R(OUT) R(OUT)
+code C1: R(IN) W(MID) R(IN) W(MID) R(IN) W(MID)
+code C2: R(MID) W(OUT) R(MID) W(OUT) R(MID) W(OUT)
+`
+
+func TestSysdlCheck(t *testing.T) {
+	var b strings.Builder
+	code, err := Sysdl(&b, "check", sampleDSL, DefaultSysdlOptions())
+	if err != nil || code != 0 {
+		t.Fatalf("check: code=%d err=%v\n%s", code, err, b.String())
+	}
+	if !strings.Contains(b.String(), "strict crossing-off: deadlock-free=true") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestSysdlCheckDeadlocked(t *testing.T) {
+	src := `
+cell C1
+cell C2
+message A C1 C2 1
+message B C2 C1 1
+code C1: R(B) W(A)
+code C2: R(A) W(B)
+`
+	var b strings.Builder
+	code, err := Sysdl(&b, "check", src, DefaultSysdlOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("deadlocked program exited %d, want 1", code)
+	}
+}
+
+func TestSysdlLabelPlanRunRender(t *testing.T) {
+	for _, cmd := range []string{"label", "plan", "run", "render"} {
+		var b strings.Builder
+		code, err := Sysdl(&b, cmd, sampleDSL, DefaultSysdlOptions())
+		if err != nil || code != 0 {
+			t.Fatalf("%s: code=%d err=%v\n%s", cmd, code, err, b.String())
+		}
+		switch cmd {
+		case "label":
+			if !strings.Contains(b.String(), "dense") {
+				t.Fatalf("label output:\n%s", b.String())
+			}
+		case "plan":
+			if !strings.Contains(b.String(), "queues/link needed") {
+				t.Fatalf("plan output:\n%s", b.String())
+			}
+		case "run":
+			if !strings.Contains(b.String(), "outcome: completed") {
+				t.Fatalf("run output:\n%s", b.String())
+			}
+		case "render":
+			if !strings.Contains(b.String(), "routes:") {
+				t.Fatalf("render output:\n%s", b.String())
+			}
+		}
+	}
+}
+
+func TestSysdlRunPolicies(t *testing.T) {
+	for _, policy := range []string{"compatible", "static", "fcfs", "lifo", "random", "adversarial"} {
+		opts := DefaultSysdlOptions()
+		opts.Policy = policy
+		opts.Queues = 3
+		opts.Capacity = 2
+		opts.Force = true
+		var b strings.Builder
+		code, err := Sysdl(&b, "run", sampleDSL, opts)
+		if err != nil || code != 0 {
+			t.Fatalf("policy %s: code=%d err=%v\n%s", policy, code, err, b.String())
+		}
+	}
+}
+
+func TestSysdlRunTimeline(t *testing.T) {
+	opts := DefaultSysdlOptions()
+	opts.Timeline = true
+	var b strings.Builder
+	code, err := Sysdl(&b, "run", sampleDSL, opts)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(b.String(), "bound to") {
+		t.Fatalf("timeline missing:\n%s", b.String())
+	}
+}
+
+func TestSysdlRunStats(t *testing.T) {
+	opts := DefaultSysdlOptions()
+	opts.Stats = true
+	var b strings.Builder
+	code, err := Sysdl(&b, "run", sampleDSL, opts)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(b.String(), "max-occ") {
+		t.Fatalf("stats missing:\n%s", b.String())
+	}
+}
+
+func TestSysdlErrors(t *testing.T) {
+	var b strings.Builder
+	if code, err := Sysdl(&b, "run", "bogus", DefaultSysdlOptions()); err == nil || code == 0 {
+		t.Fatal("parse error not reported")
+	}
+	if code, err := Sysdl(&b, "frobnicate", sampleDSL, DefaultSysdlOptions()); err == nil || code != 2 {
+		t.Fatal("unknown subcommand not reported")
+	}
+	opts := DefaultSysdlOptions()
+	opts.Policy = "bogus"
+	if code, err := Sysdl(&b, "run", sampleDSL, opts); err == nil || code != 2 {
+		t.Fatal("unknown policy not reported")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	kinds := map[string]systolic.PolicyKind{
+		"compatible":  systolic.DynamicCompatible,
+		"static":      systolic.StaticAssignment,
+		"fcfs":        systolic.NaiveFCFS,
+		"lifo":        systolic.NaiveLIFO,
+		"random":      systolic.NaiveRandom,
+		"adversarial": systolic.NaiveAdversarial,
+	}
+	for name, want := range kinds {
+		got, err := ParsePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShippedDSLFiles keeps the examples/dsl/*.sys files honest: each
+// must parse, and behave as its header comment promises.
+func TestShippedDSLFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "dsl")
+	read := func(name string) string {
+		t.Helper()
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	t.Run("fig6-completes", func(t *testing.T) {
+		var b strings.Builder
+		opts := DefaultSysdlOptions()
+		code, err := Sysdl(&b, "run", read("fig6.sys"), opts)
+		if err != nil || code != 0 {
+			t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
+		}
+	})
+
+	t.Run("fig7-fcfs-deadlocks", func(t *testing.T) {
+		var b strings.Builder
+		opts := DefaultSysdlOptions()
+		opts.Policy = "fcfs"
+		opts.Queues = 1
+		opts.Force = true
+		code, err := Sysdl(&b, "run", read("fig7.sys"), opts)
+		if err != nil || code != 1 {
+			t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
+		}
+		if !strings.Contains(b.String(), "deadlocked") {
+			t.Fatalf("output:\n%s", b.String())
+		}
+	})
+
+	t.Run("fig7-compatible-completes", func(t *testing.T) {
+		var b strings.Builder
+		opts := DefaultSysdlOptions()
+		opts.Queues = 1
+		code, err := Sysdl(&b, "run", read("fig7.sys"), opts)
+		if err != nil || code != 0 {
+			t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
+		}
+	})
+
+	t.Run("p1-check-and-lookahead-run", func(t *testing.T) {
+		var b strings.Builder
+		code, err := Sysdl(&b, "check", read("p1.sys"), DefaultSysdlOptions())
+		if err != nil || code != 1 {
+			t.Fatalf("check: code=%d err=%v", code, err)
+		}
+		if !strings.Contains(b.String(), "lookahead (budget 2): deadlock-free=true") {
+			t.Fatalf("check output:\n%s", b.String())
+		}
+		opts := DefaultSysdlOptions()
+		opts.Lookahead = true
+		opts.Capacity = 2
+		opts.Queues = 2
+		b.Reset()
+		code, err = Sysdl(&b, "run", read("p1.sys"), opts)
+		if err != nil || code != 0 {
+			t.Fatalf("run: code=%d err=%v\n%s", code, err, b.String())
+		}
+	})
+
+	t.Run("pipeline-plan", func(t *testing.T) {
+		var b strings.Builder
+		code, err := Sysdl(&b, "plan", read("pipeline.sys"), DefaultSysdlOptions())
+		if err != nil || code != 0 {
+			t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
+		}
+	})
+}

@@ -1,0 +1,206 @@
+// Package cli implements the figures and sysdl command-line tools as
+// testable functions over io.Writer; the cmd/ mains are thin wrappers.
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"systolic"
+)
+
+// Figure writes the reproduction of one paper figure (1–10).
+func Figure(w io.Writer, n int) error {
+	f, ok := figureFuncs()[n]
+	if !ok {
+		return fmt.Errorf("cli: no figure %d", n)
+	}
+	return f(w)
+}
+
+// AllFigures writes every figure in order.
+func AllFigures(w io.Writer) error {
+	for i := 1; i <= 10; i++ {
+		if err := Figure(w, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func figureFuncs() map[int]func(io.Writer) error {
+	return map[int]func(io.Writer) error{
+		1: fig1, 2: fig2, 3: fig3, 4: fig4, 5: fig5,
+		6: fig6, 7: fig7, 8: fig8, 9: fig9, 10: fig10,
+	}
+}
+
+func header(w io.Writer, n int, title string) {
+	fmt.Fprintf(w, "\n===== Figure %d: %s =====\n\n", n, title)
+}
+
+func fig1(w io.Writer) error {
+	header(w, 1, "systolic vs memory-to-memory communication")
+	rows, err := systolic.MemModelTable(systolic.MemModelDefaultSweep())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "pipeline makespan (cycles), 4 local-memory accesses per word under mem-to-mem:")
+	for _, r := range rows {
+		fmt.Fprintln(w, " ", r)
+	}
+	return nil
+}
+
+func fig2(w io.Writer) error {
+	header(w, 2, "program for filtering (3-tap FIR, first two outputs)")
+	fmt.Fprint(w, systolic.RenderProgram(systolic.Fig2Workload().Program))
+	return nil
+}
+
+func fig3(w io.Writer) error {
+	header(w, 3, "messages assigned to queue sequences")
+	wl := systolic.Fig3Workload()
+	s, err := systolic.RenderQueueSequences(wl.Program, wl.Topology)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, s)
+	fmt.Fprintln(w, "\n(4 queues per link; message A crosses C1–C2, C2–C3, C3–C4 as in §2.3)")
+	return nil
+}
+
+func fig4(w io.Writer) error {
+	header(w, 4, "crossing-off procedure on the Fig 2 program")
+	wl := systolic.Fig2Workload()
+	rounds, free := systolic.CrossOffSchedule(wl.Program)
+	fmt.Fprint(w, systolic.RenderSchedule(wl.Program, rounds))
+	fmt.Fprintf(w, "\ndeadlock-free: %v (12 steps; steps 3, 5, 9 cross two pairs)\n", free)
+	return nil
+}
+
+func fig5(w io.Writer) error {
+	header(w, 5, "deadlocked program examples P1, P2, P3")
+	for _, wl := range []*systolic.Workload{
+		systolic.Fig5P1Workload(), systolic.Fig5P2Workload(), systolic.Fig5P3Workload(),
+	} {
+		fmt.Fprintf(w, "--- %s ---\n", wl.Name)
+		fmt.Fprint(w, systolic.RenderProgram(wl.Program))
+		fmt.Fprintf(w, "strict: deadlock-free=%v; lookahead(budget 2): deadlock-free=%v\n\n",
+			systolic.IsDeadlockFree(wl.Program),
+			systolic.IsDeadlockFreeWithLookahead(wl.Program, 2))
+	}
+	return nil
+}
+
+func fig6(w io.Writer) error {
+	header(w, 6, "cyclic messages, deadlock-free program")
+	wl := systolic.Fig6Workload()
+	fmt.Fprint(w, systolic.RenderProgram(wl.Program))
+	fmt.Fprintf(w, "deadlock-free: %v (sender/receiver cycle C1→C2→C3→C4→C1 notwithstanding)\n",
+		systolic.IsDeadlockFree(wl.Program))
+	return nil
+}
+
+func fig7(w io.Writer) error {
+	header(w, 7, "queue-induced deadlock example 1 (ordering on a shared queue)")
+	wl := systolic.Fig7Workload(systolic.Fig7Options{})
+	fmt.Fprint(w, systolic.RenderProgram(wl.Program))
+	a, err := systolic.Analyze(wl.Program, wl.Topology, systolic.AnalyzeOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nconsistent labels (§6):")
+	fmt.Fprint(w, systolic.RenderLabels(wl.Program, a.Labeling))
+
+	run := func(kind systolic.PolicyKind) (*systolic.RunResult, error) {
+		return systolic.Execute(a, systolic.ExecOptions{
+			Policy: kind, QueuesPerLink: 1, Capacity: 1, Force: true, RecordTimeline: true,
+		})
+	}
+	bad, err := run(systolic.NaiveFCFS)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nnaive FCFS assignment, 1 queue/link: %s\n", bad.Outcome())
+	fmt.Fprint(w, systolic.RenderTimeline(wl.Program, wl.Topology, bad))
+	good, err := run(systolic.DynamicCompatible)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ncompatible assignment, 1 queue/link: %s in %d cycles\n", good.Outcome(), good.Cycles)
+	fmt.Fprint(w, systolic.RenderTimeline(wl.Program, wl.Topology, good))
+	return nil
+}
+
+func fig8(w io.Writer) error {
+	return interleaved(w, 8, systolic.Fig8Workload(),
+		"interleaved reads from multiple messages (cell C3)")
+}
+
+func fig9(w io.Writer) error {
+	return interleaved(w, 9, systolic.Fig9Workload(),
+		"interleaved writes to multiple messages (cell C1)")
+}
+
+func interleaved(w io.Writer, n int, wl *systolic.Workload, title string) error {
+	header(w, n, title)
+	fmt.Fprint(w, systolic.RenderProgram(wl.Program))
+	a, err := systolic.Analyze(wl.Program, wl.Topology, systolic.AnalyzeOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nrelated messages share a label:")
+	fmt.Fprint(w, systolic.RenderLabels(wl.Program, a.Labeling))
+	fmt.Fprintf(w, "minimum queues/link for compatible assignment: %d\n", a.MinQueuesDynamic)
+
+	for _, queues := range []int{1, 2} {
+		res, err := systolic.Execute(a, systolic.ExecOptions{
+			Policy: systolic.NaiveFCFS, QueuesPerLink: queues, Capacity: 1, Force: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "naive FCFS with %d queue(s)/link: %s\n", queues, res.Outcome())
+	}
+	res, err := systolic.Execute(a, systolic.ExecOptions{
+		Policy: systolic.DynamicCompatible, QueuesPerLink: 2, Capacity: 1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "compatible with 2 queues/link: %s in %d cycles\n", res.Outcome(), res.Cycles)
+	return nil
+}
+
+func fig10(w io.Writer) error {
+	header(w, 10, "program P1 crossed off using lookahead (buffer 2)")
+	wl := systolic.Fig5P1Workload()
+	fmt.Fprint(w, systolic.RenderProgram(wl.Program))
+	res := systolic.CrossOff(wl.Program, systolic.CrossoffOptions{
+		Lookahead: true,
+		Budget:    func(systolic.MessageID) int { return 2 },
+	})
+	fmt.Fprintf(w, "\ndeadlock-free under lookahead: %v; crossed pairs in order:\n", res.DeadlockFree)
+	for i, pr := range res.Order {
+		fmt.Fprintf(w, "  pair %d: message %s (skips %d writes)\n",
+			i+1, wl.Program.Message(pr.Msg).Name, len(pr.Skipped))
+	}
+	fmt.Fprintln(w, "\nrun-time confirmation (2 queues, capacity 2, compatible):")
+	a, err := systolic.Analyze(wl.Program, wl.Topology, systolic.AnalyzeOptions{Lookahead: true, Capacity: 2})
+	if err != nil {
+		return err
+	}
+	run, err := systolic.Execute(a, systolic.ExecOptions{QueuesPerLink: 2, Capacity: 2})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %s in %d cycles\n", run.Outcome(), run.Cycles)
+	fmt.Fprintln(w, "with capacity 1 (skip budget 1) the program stays deadlocked:")
+	bad, err := systolic.Analyze(wl.Program, wl.Topology, systolic.AnalyzeOptions{Lookahead: true, Capacity: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  classified deadlock-free: %v\n", bad.DeadlockFree)
+	return nil
+}

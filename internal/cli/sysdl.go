@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"systolic"
+)
+
+// SysdlOptions are the flags of the sysdl tool.
+type SysdlOptions struct {
+	Queues    int
+	Capacity  int
+	Policy    string
+	Seed      int64
+	Lookahead bool
+	Timeline  bool
+	Stats     bool
+	Force     bool
+}
+
+// DefaultSysdlOptions returns the tool's flag defaults.
+func DefaultSysdlOptions() SysdlOptions {
+	return SysdlOptions{Capacity: 1, Policy: "compatible", Seed: 1}
+}
+
+// BindFlags registers the options on a FlagSet.
+func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
+	fs.IntVar(&o.Queues, "queues", o.Queues, "queues per link (0 = minimum from analysis)")
+	fs.IntVar(&o.Capacity, "capacity", o.Capacity, "words per queue (0 = unbuffered latch)")
+	fs.StringVar(&o.Policy, "policy", o.Policy, "compatible|static|fcfs|lifo|random|adversarial")
+	fs.Int64Var(&o.Seed, "seed", o.Seed, "seed for the random policy")
+	fs.BoolVar(&o.Lookahead, "lookahead", o.Lookahead, "classify/label with §8 lookahead")
+	fs.BoolVar(&o.Timeline, "timeline", o.Timeline, "print queue bind/release timeline")
+	fs.BoolVar(&o.Stats, "stats", o.Stats, "print per-queue statistics")
+	fs.BoolVar(&o.Force, "force", o.Force, "run even when Theorem 1's queue requirement is unmet")
+}
+
+// Sysdl executes one sysdl subcommand over DSL source text, writing
+// human output to w. It returns the process exit code and an error for
+// usage/config problems (already reflected in the exit code).
+func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
+	p, topo, err := systolic.ParseDSL(src)
+	if err != nil {
+		return 1, err
+	}
+	switch cmd {
+	case "check":
+		strict := systolic.IsDeadlockFree(p)
+		fmt.Fprintf(w, "strict crossing-off: deadlock-free=%v\n", strict)
+		for _, b := range []int{1, 2, 4} {
+			fmt.Fprintf(w, "lookahead (budget %d): deadlock-free=%v\n",
+				b, systolic.IsDeadlockFreeWithLookahead(p, b))
+		}
+		if !strict {
+			for _, f := range systolic.SuggestFixes(p, 3) {
+				fmt.Fprintf(w, "hint: %s\n", systolic.DescribeFix(p, f))
+			}
+			return 1, nil
+		}
+		return 0, nil
+	case "label":
+		a, code, err := sysdlAnalyze(w, p, topo, opts)
+		if err != nil || code != 0 {
+			return code, err
+		}
+		fmt.Fprint(w, systolic.RenderLabels(p, a.Labeling))
+		return 0, nil
+	case "plan":
+		a, code, err := sysdlAnalyze(w, p, topo, opts)
+		if err != nil || code != 0 {
+			return code, err
+		}
+		fmt.Fprintf(w, "deadlock-free: %v\n", a.DeadlockFree)
+		fmt.Fprintf(w, "queues/link needed, dynamic compatible policy: %d\n", a.MinQueuesDynamic)
+		fmt.Fprintf(w, "queues/link needed, static policy:             %d\n", a.MinQueuesStatic)
+		return 0, nil
+	case "run":
+		a, code, err := sysdlAnalyze(w, p, topo, opts)
+		if err != nil || code != 0 {
+			return code, err
+		}
+		kind, err := ParsePolicy(opts.Policy)
+		if err != nil {
+			return 2, err
+		}
+		res, err := systolic.Execute(a, systolic.ExecOptions{
+			Policy:         kind,
+			QueuesPerLink:  opts.Queues,
+			Capacity:       opts.Capacity,
+			Seed:           opts.Seed,
+			RecordTimeline: opts.Timeline,
+			Force:          opts.Force,
+		})
+		if err != nil {
+			return 1, err
+		}
+		fmt.Fprint(w, systolic.RenderRun(p, res))
+		if opts.Timeline {
+			fmt.Fprint(w, systolic.RenderTimeline(p, topo, res))
+		}
+		if opts.Stats {
+			fmt.Fprint(w, systolic.RenderQueueStats(p, topo, res))
+		}
+		if !res.Completed {
+			return 1, nil
+		}
+		return 0, nil
+	case "render":
+		fmt.Fprint(w, systolic.RenderProgram(p))
+		s, err := systolic.RenderQueueSequences(p, topo)
+		if err != nil {
+			return 1, err
+		}
+		fmt.Fprintln(w, "\nroutes:")
+		fmt.Fprint(w, s)
+		return 0, nil
+	}
+	return 2, fmt.Errorf("cli: unknown subcommand %q", cmd)
+}
+
+func sysdlAnalyze(w io.Writer, p *systolic.Program, topo systolic.Topology, opts SysdlOptions) (*systolic.Analysis, int, error) {
+	a, err := systolic.Analyze(p, topo, systolic.AnalyzeOptions{
+		Lookahead: opts.Lookahead,
+		Capacity:  opts.Capacity,
+	})
+	if err != nil {
+		return nil, 1, err
+	}
+	if !a.DeadlockFree {
+		fmt.Fprintln(w, "program is not deadlock-free (try -lookahead, or fix the program)")
+		return nil, 1, nil
+	}
+	return a, 0, nil
+}
+
+// ParsePolicy maps a policy flag value to a PolicyKind.
+func ParsePolicy(name string) (systolic.PolicyKind, error) {
+	switch name {
+	case "compatible":
+		return systolic.DynamicCompatible, nil
+	case "static":
+		return systolic.StaticAssignment, nil
+	case "fcfs":
+		return systolic.NaiveFCFS, nil
+	case "lifo":
+		return systolic.NaiveLIFO, nil
+	case "random":
+		return systolic.NaiveRandom, nil
+	case "adversarial":
+		return systolic.NaiveAdversarial, nil
+	}
+	return 0, fmt.Errorf("cli: unknown policy %q", name)
+}

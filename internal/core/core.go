@@ -1,0 +1,249 @@
+// Package core assembles the paper's deadlock-avoidance strategy into
+// one engine (§9's three major steps):
+//
+//  1. ensure the program is deadlock-free (crossing-off, §3, optionally
+//     with §8 lookahead);
+//  2. ensure a consistent labeling of its messages (§6);
+//  3. ensure a compatible assignment of queues at run time (§7),
+//     sized so Theorem 1's assumption (ii) holds.
+//
+// Analyze performs steps 1–2 and computes the queue requirements;
+// Execute performs step 3 inside the simulator. A completed Execute on
+// an Analyze-approved configuration is Theorem 1 made operational.
+package core
+
+import (
+	"fmt"
+
+	"systolic/internal/assign"
+	"systolic/internal/crossoff"
+	"systolic/internal/label"
+	"systolic/internal/model"
+	"systolic/internal/sim"
+	"systolic/internal/topology"
+	"systolic/internal/verify"
+)
+
+// AnalyzeOptions configures compile-time analysis.
+type AnalyzeOptions struct {
+	// Lookahead admits programs that need queue buffering (§8). The
+	// skip budget is derived from Capacity and each message's route
+	// (rule R2) unless BudgetOverride is set.
+	Lookahead bool
+	// Capacity is the per-queue word capacity assumed by rule R2 when
+	// Lookahead is on.
+	Capacity int
+	// BudgetOverride replaces the derived R2 budget.
+	BudgetOverride func(model.MessageID) int
+	// Picker overrides the crossing-off pair choice.
+	Picker crossoff.PairPicker
+}
+
+// Analysis is the compile-time artifact: classification, labeling, and
+// queue requirements for a (program, topology) pair.
+type Analysis struct {
+	Program  *model.Program
+	Topology topology.Topology
+	Routes   [][]topology.Hop
+
+	// DeadlockFree reports the classification under the requested
+	// options; Strict reports the no-lookahead classification (always
+	// computed, for reporting).
+	DeadlockFree bool
+	Strict       bool
+	// Blocked describes the stalled fronts when not DeadlockFree.
+	Blocked []crossoff.BlockedOp
+
+	// Labeling is the §6 result (only when DeadlockFree).
+	Labeling label.Labeling
+	// MinQueuesDynamic is the queues-per-link required by the dynamic
+	// compatible policy (largest equal-label competing group);
+	// MinQueuesStatic is the requirement for the static policy
+	// (largest competing set).
+	MinQueuesDynamic int
+	MinQueuesStatic  int
+}
+
+// Analyze classifies, labels, and sizes a program over a topology.
+// A non-deadlock-free program yields an Analysis with DeadlockFree
+// false and no labeling, not an error; errors are reserved for
+// configuration problems (e.g. unroutable messages).
+func Analyze(p *model.Program, t topology.Topology, opts AnalyzeOptions) (*Analysis, error) {
+	routes, err := topology.Routes(p, t)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{Program: p, Topology: t, Routes: routes}
+	a.Strict = crossoff.Classify(p, crossoff.Options{Picker: opts.Picker})
+
+	budget := opts.BudgetOverride
+	if budget == nil && opts.Lookahead {
+		budget = crossoff.BudgetFromRoutes(routes, opts.Capacity)
+	}
+	copts := crossoff.Options{Lookahead: opts.Lookahead, Budget: budget, Picker: opts.Picker}
+	res := crossoff.Run(p, copts)
+	a.DeadlockFree = res.DeadlockFree
+	a.Blocked = res.Blocked
+	if !a.DeadlockFree {
+		return a, nil
+	}
+
+	lab, err := label.Assign(p, label.Options{
+		Lookahead: opts.Lookahead,
+		Budget:    budget,
+		Picker:    opts.Picker,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: labeling: %w", err)
+	}
+	if err := label.Check(p, lab.ByMessage); err != nil {
+		return nil, fmt.Errorf("core: labeling scheme produced an inconsistent labeling: %w", err)
+	}
+	a.Labeling = lab
+
+	rep, err := verify.CheckPreconditions(p, t, lab.Dense, 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	a.MinQueuesDynamic = rep.MaxGroup
+	a.MinQueuesStatic = rep.MaxCompeting
+	return a, nil
+}
+
+// PolicyKind selects the run-time assignment discipline.
+type PolicyKind int
+
+const (
+	// DynamicCompatible is the §7.2 ordered/simultaneous policy.
+	DynamicCompatible PolicyKind = iota
+	// StaticAssignment is the §7.1 one-queue-per-message policy.
+	StaticAssignment
+	// NaiveFCFS, NaiveLIFO, NaiveRandom, NaiveAdversarial are the
+	// label-oblivious baselines (the discipline Figs 7–9 warn about).
+	NaiveFCFS
+	NaiveLIFO
+	NaiveRandom
+	NaiveAdversarial
+)
+
+// String names the policy kind.
+func (k PolicyKind) String() string {
+	switch k {
+	case DynamicCompatible:
+		return "dynamic-compatible"
+	case StaticAssignment:
+		return "static"
+	case NaiveFCFS:
+		return "naive-fcfs"
+	case NaiveLIFO:
+		return "naive-lifo"
+	case NaiveRandom:
+		return "naive-random"
+	case NaiveAdversarial:
+		return "naive-adversarial"
+	}
+	return fmt.Sprintf("policy(%d)", int(k))
+}
+
+// policy instantiates the assign.Policy for a kind.
+func (k PolicyKind) policy(seed int64) assign.Policy {
+	switch k {
+	case DynamicCompatible:
+		return assign.Compatible()
+	case StaticAssignment:
+		return assign.Static()
+	case NaiveFCFS:
+		return assign.Naive(assign.FCFS, seed)
+	case NaiveLIFO:
+		return assign.Naive(assign.LIFO, seed)
+	case NaiveRandom:
+		return assign.Naive(assign.Random, seed)
+	default:
+		return assign.Naive(assign.LabelDescending, seed)
+	}
+}
+
+// ExecOptions configures a run of an analyzed program.
+type ExecOptions struct {
+	// Policy selects the assignment discipline; DynamicCompatible by
+	// default.
+	Policy PolicyKind
+	// QueuesPerLink defaults to the analysis' minimum for the chosen
+	// policy.
+	QueuesPerLink int
+	// Capacity is the per-queue capacity (default 1).
+	Capacity int
+	// ExtCapacity/ExtPenalty enable the §8 queue extension.
+	ExtCapacity int
+	ExtPenalty  int
+	// DirectionalPools gives each link one queue pool per direction
+	// instead of the paper's shared, direction-resettable pool.
+	DirectionalPools bool
+	// Logic supplies word values (nil = synthetic).
+	Logic sim.CellLogic
+	// Seed feeds randomized policies.
+	Seed int64
+	// MaxCycles bounds the run (0 = derived default).
+	MaxCycles int
+	// RecordTimeline captures bind/release events.
+	RecordTimeline bool
+	// Force skips the Theorem 1 precondition check, allowing
+	// deliberately under-provisioned runs (used to demonstrate the
+	// failure modes the theorem excludes).
+	Force bool
+}
+
+// Execute runs an analyzed program under the chosen policy. For the
+// compatible and static policies it verifies Theorem 1's assumption
+// (ii) first (unless Force) so that a refusal is a clear report rather
+// than a run-time stall.
+func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
+	if !a.DeadlockFree {
+		return nil, fmt.Errorf("core: program is not deadlock-free: %s",
+			crossoff.DescribeBlocked(a.Program, a.Blocked))
+	}
+	queues := opts.QueuesPerLink
+	if queues == 0 {
+		if opts.Policy == StaticAssignment {
+			queues = a.MinQueuesStatic
+		} else {
+			queues = a.MinQueuesDynamic
+		}
+		if queues == 0 {
+			queues = 1
+		}
+	}
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = 1
+	}
+	if !opts.Force {
+		switch opts.Policy {
+		case DynamicCompatible:
+			if queues < a.MinQueuesDynamic {
+				return nil, fmt.Errorf(
+					"core: %d queues per link < %d required by the largest equal-label group (Theorem 1 assumption (ii)); pass Force to run anyway",
+					queues, a.MinQueuesDynamic)
+			}
+		case StaticAssignment:
+			if queues < a.MinQueuesStatic {
+				return nil, fmt.Errorf(
+					"core: %d queues per link < %d required for static assignment; pass Force to run anyway",
+					queues, a.MinQueuesStatic)
+			}
+		}
+	}
+	return sim.Run(a.Program, sim.Config{
+		Topology:         a.Topology,
+		QueuesPerLink:    queues,
+		Capacity:         capacity,
+		ExtCapacity:      opts.ExtCapacity,
+		ExtPenalty:       opts.ExtPenalty,
+		DirectionalPools: opts.DirectionalPools,
+		Policy:           opts.Policy.policy(opts.Seed),
+		Labels:           a.Labeling.Dense,
+		Logic:            opts.Logic,
+		MaxCycles:        opts.MaxCycles,
+		RecordTimeline:   opts.RecordTimeline,
+	})
+}

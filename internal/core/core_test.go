@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"systolic/internal/model"
+	"systolic/internal/sim"
+	"systolic/internal/topology"
+	"systolic/internal/verify"
+	"systolic/internal/workload"
+)
+
+func analyzeWorkload(t *testing.T, w *workload.Workload) *Analysis {
+	t.Helper()
+	a, err := Analyze(w.Program, w.Topology, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnalyzeFig2(t *testing.T) {
+	a := analyzeWorkload(t, workload.Fig2())
+	if !a.DeadlockFree || !a.Strict {
+		t.Fatal("Fig 2 not deadlock-free")
+	}
+	if a.MinQueuesDynamic < 1 || a.MinQueuesStatic < a.MinQueuesDynamic {
+		t.Fatalf("queue requirements dyn=%d static=%d", a.MinQueuesDynamic, a.MinQueuesStatic)
+	}
+}
+
+func TestAnalyzeDeadlockedProgramNotAnError(t *testing.T) {
+	w := workload.Fig5P3()
+	a, err := Analyze(w.Program, w.Topology, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeadlockFree {
+		t.Fatal("P3 classified deadlock-free")
+	}
+	if len(a.Blocked) == 0 {
+		t.Fatal("no blocked diagnosis")
+	}
+	if _, err := Execute(a, ExecOptions{}); err == nil {
+		t.Fatal("Execute accepted a deadlocked program")
+	}
+}
+
+func TestAnalyzeLookaheadAdmitsP1(t *testing.T) {
+	w := workload.Fig5P1()
+	strict, err := Analyze(w.Program, w.Topology, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.DeadlockFree {
+		t.Fatal("P1 strict-admitted")
+	}
+	la, err := Analyze(w.Program, w.Topology, AnalyzeOptions{Lookahead: true, Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !la.DeadlockFree || la.Strict {
+		t.Fatalf("lookahead analysis wrong: free=%v strict=%v", la.DeadlockFree, la.Strict)
+	}
+	res, err := Execute(la, ExecOptions{QueuesPerLink: 2, Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("P1 run %s", res.Outcome())
+	}
+}
+
+func TestExecuteRefusesUnderProvisionedCompatible(t *testing.T) {
+	a := analyzeWorkload(t, workload.Fig8())
+	_, err := Execute(a, ExecOptions{QueuesPerLink: 1})
+	if err == nil || !strings.Contains(err.Error(), "assumption (ii)") {
+		t.Fatalf("Execute = %v, want precondition refusal", err)
+	}
+	// Force runs it anyway — and the stall is detected as deadlock.
+	res, err := Execute(a, ExecOptions{QueuesPerLink: 1, Force: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatalf("forced under-provisioned run %s", res.Outcome())
+	}
+}
+
+func TestExecuteDefaultsQueueCountFromAnalysis(t *testing.T) {
+	a := analyzeWorkload(t, workload.Fig8())
+	res, err := Execute(a, ExecOptions{}) // QueuesPerLink defaults to MinQueuesDynamic (2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("defaulted run %s", res.Outcome())
+	}
+}
+
+func TestExecuteStaticPolicy(t *testing.T) {
+	a := analyzeWorkload(t, workload.Fig3())
+	res, err := Execute(a, ExecOptions{Policy: StaticAssignment, Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("static run %s", res.Outcome())
+	}
+	// Static under-provisioned refuses too.
+	if _, err := Execute(a, ExecOptions{Policy: StaticAssignment, QueuesPerLink: 1}); err == nil {
+		t.Fatal("static accepted too few queues")
+	}
+}
+
+func TestAllPolicyKindsRunFig2(t *testing.T) {
+	w := workload.Fig2()
+	a := analyzeWorkload(t, w)
+	for _, kind := range []PolicyKind{
+		DynamicCompatible, StaticAssignment, NaiveFCFS, NaiveLIFO, NaiveRandom, NaiveAdversarial,
+	} {
+		res, err := Execute(a, ExecOptions{
+			Policy:        kind,
+			QueuesPerLink: a.MinQueuesStatic, // plenty for everyone
+			Capacity:      2,
+			Logic:         w.Logic,
+			Seed:          11,
+			Force:         true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%v: %s", kind, res.Outcome())
+		}
+		if err := w.CheckReceived(res.Received); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestPolicyKindStrings(t *testing.T) {
+	want := map[PolicyKind]string{
+		DynamicCompatible: "dynamic-compatible",
+		StaticAssignment:  "static",
+		NaiveFCFS:         "naive-fcfs",
+		NaiveLIFO:         "naive-lifo",
+		NaiveRandom:       "naive-random",
+		NaiveAdversarial:  "naive-adversarial",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d → %q", int(k), k.String())
+		}
+	}
+}
+
+// TestTheorem1Property is the headline property test: for randomized
+// deadlock-free programs on linear arrays, the full avoidance pipeline
+// (crossing-off ✓, §6 labels ✓, compatible assignment with enough
+// queues) always runs to completion. This is Theorem 1, exercised.
+func TestTheorem1Property(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cells := 2 + rng.Intn(5)
+		p, err := verify.RandomDeadlockFree(rng, verify.RandomOptions{
+			Cells:    cells,
+			Messages: 1 + rng.Intn(7),
+			MaxWords: 4,
+			Chain:    seed%3 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := topology.Linear(cells)
+		a, err := Analyze(p, topo, AnalyzeOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, p)
+		}
+		if !a.DeadlockFree {
+			t.Fatalf("seed %d: generator produced a non-deadlock-free program", seed)
+		}
+		res, err := Execute(a, ExecOptions{Capacity: 1 + int(seed%3)})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, p)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: Theorem 1 violated — %s\n%s\nblocked:\n%s",
+				seed, res.Outcome(), p, sim.DescribeBlocked(p, res.Blocked))
+		}
+	}
+}
+
+// TestTheorem1OnRing exercises the property over a ring topology
+// (multi-hop, shared links in both directions).
+func TestTheorem1OnRing(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		cells := 3 + rng.Intn(4)
+		p, err := verify.RandomDeadlockFree(rng, verify.RandomOptions{
+			Cells:    cells,
+			Messages: 1 + rng.Intn(5),
+			MaxWords: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(p, topology.Ring(cells), AnalyzeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(a, ExecOptions{Capacity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: ring run %s\n%s", seed, res.Outcome(), p)
+		}
+	}
+}
+
+// TestNaiveSometimesDeadlocks documents the converse: naive assignment
+// with scarce queues does deadlock on some generated programs — the
+// avoidance machinery is not vacuous.
+func TestNaiveSometimesDeadlocks(t *testing.T) {
+	deadlocks := 0
+	for seed := int64(0); seed < 300 && deadlocks == 0; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cells := 3 + rng.Intn(3)
+		p, err := verify.RandomDeadlockFree(rng, verify.RandomOptions{
+			Cells:    cells,
+			Messages: 3 + rng.Intn(5),
+			MaxWords: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(p, topology.Linear(cells), AnalyzeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(a, ExecOptions{
+			Policy: NaiveLIFO, QueuesPerLink: 1, Capacity: 1, Force: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked {
+			deadlocks++
+		}
+	}
+	if deadlocks == 0 {
+		t.Fatal("naive LIFO with 1 queue never deadlocked on 300 random programs")
+	}
+}
+
+// TestCompatibleNeverReordersWords: completion is not enough — the
+// receiver must see every message's words in order.
+func TestCompatibleNeverReordersWords(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed + 77))
+		cells := 3 + rng.Intn(3)
+		p, err := verify.RandomDeadlockFree(rng, verify.RandomOptions{
+			Cells: cells, Messages: 4, MaxWords: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(p, topology.Linear(cells), AnalyzeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(a, ExecOptions{Capacity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: %s", seed, res.Outcome())
+		}
+		for id := 0; id < p.NumMessages(); id++ {
+			words := res.Received[id]
+			if len(words) != p.Message(model.MessageID(id)).Words {
+				t.Fatalf("seed %d: message %d received %d words", seed, id, len(words))
+			}
+			for i, w := range words {
+				if w != sim.Word(float64(id)*1e6+float64(i)) {
+					t.Fatalf("seed %d: message %d word %d = %v (reordered)", seed, id, i, w)
+				}
+			}
+		}
+	}
+}

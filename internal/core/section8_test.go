@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"systolic/internal/assign"
+	"systolic/internal/crossoff"
+	"systolic/internal/label"
+	"systolic/internal/model"
+	"systolic/internal/sim"
+	"systolic/internal/topology"
+	"systolic/internal/verify"
+)
+
+// TestSection8ClassifierMatchesSimulator validates the §8 story
+// end-to-end: for single-hop programs under static assignment (one
+// private queue per message, so assignment plays no role), the
+// lookahead classifier with skip budget c must agree exactly with the
+// simulator running capacity-c queues — admitted programs complete,
+// rejected programs deadlock. The execution of a program over bounded
+// private FIFOs is monotone, so the verdict is schedule-independent
+// and the equivalence is exact.
+func TestSection8ClassifierMatchesSimulator(t *testing.T) {
+	agreeBoth := 0
+	for seed := int64(0); seed < 250; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cells := 2 + rng.Intn(3)
+		p, err := verify.RandomDeadlockFree(rng, verify.RandomOptions{
+			Cells:    cells,
+			Messages: 2 + rng.Intn(4),
+			MaxWords: 3,
+			Chain:    true, // single-hop routes: budget == capacity
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shuffle ops to produce programs across the whole spectrum:
+		// strictly fine, buffering-fixable, and truly deadlocked.
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			c := rng.Intn(p.NumCells())
+			codeLen := len(p.Code(model.CellID(c)))
+			if codeLen < 2 {
+				continue
+			}
+			if q, err := verify.SwapAdjacent(p, model.CellID(c), rng.Intn(codeLen-1)); err == nil {
+				p = q
+			}
+		}
+		capacity := 1 + rng.Intn(3)
+		admitted := crossoff.Classify(p, crossoff.Options{
+			Lookahead: true,
+			Budget:    crossoff.UniformBudget(capacity),
+		})
+		res, err := sim.Run(p, sim.Config{
+			Topology:      topology.Linear(cells),
+			QueuesPerLink: p.NumMessages(), // private queue per message
+			Capacity:      capacity,
+			Policy:        assign.Static(),
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if admitted && !res.Completed {
+			t.Fatalf("seed %d: classifier admitted (budget %d) but run %s\n%s",
+				seed, capacity, res.Outcome(), p)
+		}
+		if !admitted && !res.Deadlocked {
+			t.Fatalf("seed %d: classifier rejected (budget %d) but run %s\n%s",
+				seed, capacity, res.Outcome(), p)
+		}
+		if !admitted {
+			agreeBoth++
+		}
+	}
+	if agreeBoth == 0 {
+		t.Fatal("mutation never produced a rejected program; test is vacuous")
+	}
+}
+
+// TestSection8ModifiedLabelingRunsLookaheadPrograms: programs admitted
+// only under lookahead run to completion under the full pipeline with
+// the §8.2 modified labeling and capacity matching the budget.
+func TestSection8ModifiedLabelingRunsLookaheadPrograms(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 400 && checked < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed + 5000))
+		cells := 2 + rng.Intn(3)
+		p, err := verify.RandomDeadlockFree(rng, verify.RandomOptions{
+			Cells:    cells,
+			Messages: 2 + rng.Intn(4),
+			MaxWords: 3,
+			Chain:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			c := rng.Intn(p.NumCells())
+			codeLen := len(p.Code(model.CellID(c)))
+			if codeLen < 2 {
+				continue
+			}
+			if q, err := verify.SwapAdjacent(p, model.CellID(c), rng.Intn(codeLen-1)); err == nil {
+				p = q
+			}
+		}
+		const capacity = 2
+		strict := crossoff.Classify(p, crossoff.Options{})
+		admitted := crossoff.Classify(p, crossoff.Options{
+			Lookahead: true, Budget: crossoff.UniformBudget(capacity),
+		})
+		if strict || !admitted {
+			continue // want lookahead-only programs
+		}
+		checked++
+		lab, err := label.Assign(p, label.Options{
+			Lookahead: true, Budget: crossoff.UniformBudget(capacity),
+		})
+		if err != nil {
+			t.Fatalf("seed %d: labeling: %v\n%s", seed, err, p)
+		}
+		rep, err := verify.CheckPreconditions(p, topology.Linear(cells), lab.Dense, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(p, sim.Config{
+			Topology:      topology.Linear(cells),
+			QueuesPerLink: rep.MaxGroup,
+			Capacity:      capacity,
+			Policy:        assign.Compatible(),
+			Labels:        lab.Dense,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: lookahead-admitted program %s under modified labeling\n%s\n%s",
+				seed, res.Outcome(), p, sim.DescribeBlocked(p, res.Blocked))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("never found a lookahead-only program; test is vacuous")
+	}
+	t.Logf("validated %d lookahead-only programs", checked)
+}

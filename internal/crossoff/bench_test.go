@@ -1,0 +1,66 @@
+package crossoff
+
+import (
+	"fmt"
+	"testing"
+
+	"systolic/internal/model"
+)
+
+// longPipeline builds a 1-message-per-stage pipeline of the given
+// width and depth for scaling measurements.
+func longPipeline(b *testing.B, cells, words int) *model.Program {
+	b.Helper()
+	bd := model.NewBuilder()
+	ids := bd.AddCells("C", cells)
+	for c := 0; c+1 < cells; c++ {
+		m := bd.DeclareMessage(fmt.Sprintf("M%d", c), ids[c], ids[c+1], words)
+		bd.WriteN(ids[c], m, words)
+		bd.ReadN(ids[c+1], m, words)
+	}
+	p, err := bd.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkClassifyStrict(b *testing.B) {
+	for _, tc := range []struct{ cells, words int }{
+		{4, 16}, {8, 64}, {16, 256},
+	} {
+		p := longPipeline(b, tc.cells, tc.words)
+		b.Run(fmt.Sprintf("cells=%d,words=%d", tc.cells, tc.words), func(b *testing.B) {
+			for b.Loop() {
+				if !Classify(p, Options{}) {
+					b.Fatal("pipeline rejected")
+				}
+			}
+			b.ReportMetric(float64(p.TotalOps()), "ops")
+		})
+	}
+}
+
+func BenchmarkClassifyLookahead(b *testing.B) {
+	for _, tc := range []struct{ cells, words int }{
+		{4, 16}, {8, 64},
+	} {
+		p := longPipeline(b, tc.cells, tc.words)
+		b.Run(fmt.Sprintf("cells=%d,words=%d", tc.cells, tc.words), func(b *testing.B) {
+			for b.Loop() {
+				if !Classify(p, Options{Lookahead: true, Budget: UniformBudget(4)}) {
+					b.Fatal("pipeline rejected")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	p := longPipeline(b, 8, 64)
+	for b.Loop() {
+		if _, free := Schedule(p); !free {
+			b.Fatal("pipeline rejected")
+		}
+	}
+}

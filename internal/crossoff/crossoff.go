@@ -1,0 +1,367 @@
+// Package crossoff implements the paper's crossing-off procedure (§3):
+// the compile-time analysis that decides whether a systolic program is
+// deadlock-free, plus the lookahead variant of §8.1 that credits queue
+// buffering.
+//
+// An executable pair is a W(X) and an R(X) that are both the next
+// unexecuted ("front") statement of their cell programs. The procedure
+// repeatedly crosses executable pairs off; a program is deadlock-free
+// iff every operation can be crossed off.
+//
+// With lookahead enabled, the W or R of a pair may be located past
+// leading *write* operations only (rule R1), and for each located pair
+// the number of skipped writes to any message must not exceed that
+// message's buffering budget — "the total size of the queues that the
+// message will cross" (rule R2). Skipped writes stay in the program and
+// are crossed later, which is exactly the paper's model of words parked
+// in queue buffers.
+package crossoff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// Skip records one write operation jumped over while locating a pair
+// member under lookahead.
+type Skip struct {
+	Cell model.CellID
+	Idx  int // index into the cell's original op sequence
+	Msg  model.MessageID
+}
+
+// Pair is one crossed-off executable pair: the write at
+// (WriteCell, WriteIdx) matched with the read at (ReadCell, ReadIdx),
+// both operations on Msg. Skipped lists the write operations jumped
+// over to locate either member (empty without lookahead).
+type Pair struct {
+	Msg       model.MessageID
+	WriteCell model.CellID
+	WriteIdx  int
+	ReadCell  model.CellID
+	ReadIdx   int
+	Skipped   []Skip
+}
+
+// PairPicker selects which executable pair to cross next when several
+// are available. The paper notes the choice can matter for queue-use
+// efficiency (§6); it never affects the deadlock-free verdict (see the
+// confluence property tests).
+type PairPicker func(candidates []Pair) Pair
+
+// ByMessageID picks the candidate with the smallest message id,
+// breaking ties by write index. It is the deterministic default.
+func ByMessageID(candidates []Pair) Pair {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.Msg < best.Msg || (c.Msg == best.Msg && c.WriteIdx < best.WriteIdx) {
+			best = c
+		}
+	}
+	return best
+}
+
+// ByFewestSkips picks the candidate with the fewest skipped writes
+// (then smallest message id), a heuristic that keeps buffer pressure
+// low under lookahead.
+func ByFewestSkips(candidates []Pair) Pair {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if len(c.Skipped) < len(best.Skipped) ||
+			(len(c.Skipped) == len(best.Skipped) && c.Msg < best.Msg) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Options configures a crossing-off run.
+type Options struct {
+	// Lookahead enables §8.1 lookahead (skip leading writes).
+	Lookahead bool
+	// Budget returns, for a message, the maximum number of its write
+	// operations that may be skipped while locating any single pair
+	// (rule R2): the total capacity of the queues the message crosses.
+	// nil with Lookahead means unbounded skipping (infinite buffers).
+	// Ignored without Lookahead.
+	Budget func(model.MessageID) int
+	// Picker chooses among executable pairs; nil means ByMessageID.
+	Picker PairPicker
+	// Observer, if non-nil, is invoked for each pair immediately
+	// before it is crossed off. The labeling scheme (§6) hooks in
+	// here.
+	Observer func(Pair)
+}
+
+// BlockedOp describes the front operation of a cell that could not be
+// crossed off, for deadlock diagnostics.
+type BlockedOp struct {
+	Cell model.CellID
+	Idx  int
+	Op   model.Op
+}
+
+// Result reports the outcome of a crossing-off run.
+type Result struct {
+	// DeadlockFree is true iff every operation was crossed off.
+	DeadlockFree bool
+	// Order lists the pairs in the order they were crossed.
+	Order []Pair
+	// Blocked lists each unfinished cell's front operation when the
+	// procedure stalled (empty if DeadlockFree).
+	Blocked []BlockedOp
+	// RemainingOps counts operations left uncrossed.
+	RemainingOps int
+}
+
+// UniformBudget returns a Budget function assigning every message the
+// same skip budget.
+func UniformBudget(n int) func(model.MessageID) int {
+	return func(model.MessageID) int { return n }
+}
+
+// BudgetFromRoutes returns the rule-R2 budget implied by per-queue
+// capacity and the routes of each message: capacity × hops, "the total
+// size of the queues that the message will cross".
+func BudgetFromRoutes(routes [][]topology.Hop, capacity int) func(model.MessageID) int {
+	return func(m model.MessageID) int {
+		if int(m) < 0 || int(m) >= len(routes) {
+			return 0
+		}
+		return capacity * len(routes[m])
+	}
+}
+
+// state tracks crossing progress over a program.
+type state struct {
+	p       *model.Program
+	opts    Options
+	crossed [][]bool
+	cursor  []int // first uncrossed index per cell (may point past crossed holes lazily)
+	left    int
+}
+
+func newState(p *model.Program, opts Options) *state {
+	s := &state{p: p, opts: opts}
+	s.crossed = make([][]bool, p.NumCells())
+	s.cursor = make([]int, p.NumCells())
+	for c := 0; c < p.NumCells(); c++ {
+		s.crossed[c] = make([]bool, len(p.Code(model.CellID(c))))
+		s.left += len(p.Code(model.CellID(c)))
+	}
+	return s
+}
+
+// advance moves a cell's cursor past crossed ops.
+func (s *state) advance(c model.CellID) {
+	code := s.p.Code(c)
+	for s.cursor[c] < len(code) && s.crossed[c][s.cursor[c]] {
+		s.cursor[c]++
+	}
+}
+
+// front returns the front op of a cell, if any.
+func (s *state) front(c model.CellID) (model.Op, int, bool) {
+	s.advance(c)
+	code := s.p.Code(c)
+	if s.cursor[c] >= len(code) {
+		return model.Op{}, 0, false
+	}
+	return code[s.cursor[c]], s.cursor[c], true
+}
+
+// locate finds the earliest uncrossed op of the wanted kind on message
+// msg in cell c's program, subject to lookahead rules. It returns the
+// op index, the writes skipped to reach it, and whether it was found
+// within the rules.
+func (s *state) locate(c model.CellID, kind model.OpKind, msg model.MessageID) (int, []Skip, bool) {
+	s.advance(c)
+	code := s.p.Code(c)
+	var skipped []Skip
+	for i := s.cursor[c]; i < len(code); i++ {
+		if s.crossed[c][i] {
+			continue
+		}
+		op := code[i]
+		if op.Kind == kind && op.Msg == msg {
+			return i, skipped, true
+		}
+		if !s.opts.Lookahead {
+			return 0, nil, false // strict: only the front qualifies
+		}
+		if op.Kind == model.Read {
+			return 0, nil, false // rule R1: reads are never skipped
+		}
+		skipped = append(skipped, Skip{Cell: c, Idx: i, Msg: op.Msg})
+	}
+	return 0, nil, false
+}
+
+// withinBudget applies rule R2 to a candidate's skip set.
+func (s *state) withinBudget(skipped []Skip) bool {
+	if !s.opts.Lookahead || s.opts.Budget == nil {
+		return true
+	}
+	perMsg := make(map[model.MessageID]int)
+	for _, sk := range skipped {
+		perMsg[sk.Msg]++
+	}
+	for m, n := range perMsg {
+		if n > s.opts.Budget(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// candidateFor builds the executable pair for message m, if one exists
+// under the current rules.
+func (s *state) candidateFor(m model.Message) (Pair, bool) {
+	wIdx, wSkips, ok := s.locate(m.Sender, model.Write, m.ID)
+	if !ok {
+		return Pair{}, false
+	}
+	rIdx, rSkips, ok := s.locate(m.Receiver, model.Read, m.ID)
+	if !ok {
+		return Pair{}, false
+	}
+	skipped := append(append([]Skip(nil), wSkips...), rSkips...)
+	if !s.withinBudget(skipped) {
+		return Pair{}, false
+	}
+	return Pair{
+		Msg:       m.ID,
+		WriteCell: m.Sender,
+		WriteIdx:  wIdx,
+		ReadCell:  m.Receiver,
+		ReadIdx:   rIdx,
+		Skipped:   skipped,
+	}, true
+}
+
+// candidates returns all currently executable pairs, one per eligible
+// message, in message-id order.
+func (s *state) candidates() []Pair {
+	var out []Pair
+	for _, m := range s.p.Messages() {
+		if c, ok := s.candidateFor(m); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// cross marks a pair's two ops as executed.
+func (s *state) cross(pr Pair) {
+	s.crossed[pr.WriteCell][pr.WriteIdx] = true
+	s.crossed[pr.ReadCell][pr.ReadIdx] = true
+	s.left -= 2
+}
+
+// blocked gathers the diagnostic front ops of unfinished cells.
+func (s *state) blocked() []BlockedOp {
+	var out []BlockedOp
+	for c := 0; c < s.p.NumCells(); c++ {
+		if op, idx, ok := s.front(model.CellID(c)); ok {
+			out = append(out, BlockedOp{Cell: model.CellID(c), Idx: idx, Op: op})
+		}
+	}
+	return out
+}
+
+// Run performs the crossing-off procedure one pair at a time until no
+// executable pair remains, and reports whether the program is
+// deadlock-free (§3.2).
+func Run(p *model.Program, opts Options) Result {
+	s := newState(p, opts)
+	picker := opts.Picker
+	if picker == nil {
+		picker = ByMessageID
+	}
+	var order []Pair
+	for s.left > 0 {
+		cands := s.candidates()
+		if len(cands) == 0 {
+			break
+		}
+		pr := picker(cands)
+		if opts.Observer != nil {
+			opts.Observer(pr)
+		}
+		s.cross(pr)
+		order = append(order, pr)
+	}
+	return Result{
+		DeadlockFree: s.left == 0,
+		Order:        order,
+		Blocked:      s.blocked(),
+		RemainingOps: s.left,
+	}
+}
+
+// Classify is Run without trace bookkeeping concerns: it answers only
+// the deadlock-free question.
+func Classify(p *model.Program, opts Options) bool {
+	return Run(p, opts).DeadlockFree
+}
+
+// Round is one step of the simultaneous schedule: all pairs executable
+// at the start of the round, crossed together. Because a cell's front
+// is a single operation, the pairs of a round are automatically
+// disjoint; Fig 4's steps 3, 5 and 9 each contain two pairs.
+type Round struct {
+	Step  int
+	Pairs []Pair
+}
+
+// Schedule runs the strict (no-lookahead) procedure in maximal
+// simultaneous rounds, reproducing the step structure of Fig 4. It
+// reports the rounds and whether the program is deadlock-free.
+func Schedule(p *model.Program) ([]Round, bool) {
+	s := newState(p, Options{})
+	var rounds []Round
+	for s.left > 0 {
+		cands := s.candidates()
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Msg < cands[j].Msg })
+		for _, pr := range cands {
+			s.cross(pr)
+		}
+		rounds = append(rounds, Round{Step: len(rounds) + 1, Pairs: cands})
+	}
+	return rounds, s.left == 0
+}
+
+// FormatPair renders a pair like "W(XA)@Host/R(XA)@C1" using program
+// names.
+func FormatPair(p *model.Program, pr Pair) string {
+	m := p.Message(pr.Msg)
+	s := fmt.Sprintf("W(%s)@%s/R(%s)@%s", m.Name, p.Cell(pr.WriteCell).Name, m.Name, p.Cell(pr.ReadCell).Name)
+	if len(pr.Skipped) > 0 {
+		var parts []string
+		for _, sk := range pr.Skipped {
+			parts = append(parts, fmt.Sprintf("W(%s)@%s#%d", p.Message(sk.Msg).Name, p.Cell(sk.Cell).Name, sk.Idx))
+		}
+		s += " skipping " + strings.Join(parts, ",")
+	}
+	return s
+}
+
+// DescribeBlocked renders the blocked fronts of a deadlocked
+// classification, e.g. "C1 blocked at W(A); C2 blocked at R(B)".
+func DescribeBlocked(p *model.Program, blocked []BlockedOp) string {
+	if len(blocked) == 0 {
+		return "none"
+	}
+	parts := make([]string, 0, len(blocked))
+	for _, b := range blocked {
+		parts = append(parts, fmt.Sprintf("%s blocked at %s", p.Cell(b.Cell).Name, p.OpString(b.Op)))
+	}
+	return strings.Join(parts, "; ")
+}

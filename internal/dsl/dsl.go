@@ -1,0 +1,228 @@
+// Package dsl parses and formats a small text notation for systolic
+// programs, so programs can live in files, tests, and tool invocations
+// in the same shape the paper prints them.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//	topology linear N | ring N | mesh R C
+//	cell NAME [host]
+//	message NAME SENDER RECEIVER WORDS
+//	code CELL: OP OP OP …
+//
+// where OP is R(MSG) or W(MSG). Multiple code lines for the same cell
+// append. The topology line is optional; Linear(numCells) is the
+// default.
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// File is a parsed DSL document: a validated program plus its
+// (possibly defaulted) topology.
+type File struct {
+	Program  *model.Program
+	Topology topology.Topology
+}
+
+// Parse reads a DSL document.
+func Parse(src string) (*File, error) {
+	b := model.NewBuilder()
+	cellID := make(map[string]model.CellID)
+	msgID := make(map[string]model.MessageID)
+	var topoKind string
+	var topoArgs []int
+	numCells := 0
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("dsl: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "topology":
+			if len(fields) < 3 {
+				return nil, fail("topology needs a kind and size(s)")
+			}
+			topoKind = fields[1]
+			topoArgs = nil
+			for _, f := range fields[2:] {
+				n, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fail("bad topology size %q", f)
+				}
+				topoArgs = append(topoArgs, n)
+			}
+		case "cell":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fail("cell needs a name and optional 'host'")
+			}
+			name := fields[1]
+			if _, dup := cellID[name]; dup {
+				return nil, fail("duplicate cell %q", name)
+			}
+			if len(fields) == 3 {
+				if fields[2] != "host" {
+					return nil, fail("unknown cell attribute %q", fields[2])
+				}
+				cellID[name] = b.AddHost(name)
+			} else {
+				cellID[name] = b.AddCell(name)
+			}
+			numCells++
+		case "message":
+			if len(fields) != 5 {
+				return nil, fail("message needs NAME SENDER RECEIVER WORDS")
+			}
+			s, ok := cellID[fields[2]]
+			if !ok {
+				return nil, fail("unknown sender cell %q", fields[2])
+			}
+			r, ok := cellID[fields[3]]
+			if !ok {
+				return nil, fail("unknown receiver cell %q", fields[3])
+			}
+			words, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, fail("bad word count %q", fields[4])
+			}
+			msgID[fields[1]] = b.DeclareMessage(fields[1], s, r, words)
+		case "code":
+			rest := strings.TrimPrefix(line, "code")
+			colon := strings.IndexByte(rest, ':')
+			if colon < 0 {
+				return nil, fail("code needs 'code CELL: ops'")
+			}
+			cellName := strings.TrimSpace(rest[:colon])
+			c, ok := cellID[cellName]
+			if !ok {
+				return nil, fail("unknown cell %q", cellName)
+			}
+			for _, tok := range strings.Fields(rest[colon+1:]) {
+				kind, msg, err := parseOp(tok)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				id, ok := msgID[msg]
+				if !ok {
+					return nil, fail("unknown message %q", msg)
+				}
+				if kind == model.Write {
+					b.Write(c, id)
+				} else {
+					b.Read(c, id)
+				}
+			}
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	t, err := buildTopology(topoKind, topoArgs, numCells)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Program: p, Topology: t}, nil
+}
+
+func parseOp(tok string) (model.OpKind, string, error) {
+	if len(tok) < 4 || tok[1] != '(' || tok[len(tok)-1] != ')' {
+		return 0, "", fmt.Errorf("bad op %q (want R(MSG) or W(MSG))", tok)
+	}
+	name := tok[2 : len(tok)-1]
+	switch tok[0] {
+	case 'R', 'r':
+		return model.Read, name, nil
+	case 'W', 'w':
+		return model.Write, name, nil
+	}
+	return 0, "", fmt.Errorf("bad op %q (want R(MSG) or W(MSG))", tok)
+}
+
+func buildTopology(kind string, args []int, numCells int) (topology.Topology, error) {
+	switch kind {
+	case "":
+		return topology.Linear(numCells), nil
+	case "linear":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("dsl: topology linear needs one size")
+		}
+		return topology.Linear(args[0]), nil
+	case "ring":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("dsl: topology ring needs one size")
+		}
+		return topology.Ring(args[0]), nil
+	case "mesh":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("dsl: topology mesh needs rows and cols")
+		}
+		return topology.Mesh2D(args[0], args[1]), nil
+	}
+	return nil, fmt.Errorf("dsl: unknown topology %q", kind)
+}
+
+// Format renders a program (and optional topology description) back
+// into parseable DSL text. Parse(Format(p)) reproduces the program.
+func Format(p *model.Program, t topology.Topology) string {
+	var b strings.Builder
+	if t != nil {
+		if line, ok := topoLine(t); ok {
+			b.WriteString("topology " + line + "\n")
+		}
+	}
+	for _, c := range p.Cells() {
+		if c.Host {
+			fmt.Fprintf(&b, "cell %s host\n", c.Name)
+		} else {
+			fmt.Fprintf(&b, "cell %s\n", c.Name)
+		}
+	}
+	for _, m := range p.Messages() {
+		fmt.Fprintf(&b, "message %s %s %s %d\n", m.Name, p.Cell(m.Sender).Name, p.Cell(m.Receiver).Name, m.Words)
+	}
+	for _, c := range p.Cells() {
+		code := p.Code(c.ID)
+		if len(code) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "code %s:", c.Name)
+		for _, op := range code {
+			b.WriteString(" " + p.OpString(op))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// topoLine renders the topology directive for the kinds the grammar
+// supports; arbitrary graphs have no DSL syntax and are omitted (Parse
+// then defaults to a linear array).
+func topoLine(t topology.Topology) (string, bool) {
+	name := t.Name()
+	for _, kind := range []string{"linear", "ring", "mesh"} {
+		if strings.HasPrefix(name, kind+"(") {
+			args := strings.TrimSuffix(strings.TrimPrefix(name, kind+"("), ")")
+			args = strings.ReplaceAll(args, "x", " ")
+			return kind + " " + args, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,141 @@
+// Package queue implements the word FIFOs that sit between adjacent
+// cells (§2.3), including the paper's two buffering regimes:
+//
+//   - capacity 0: a latch with "no buffering capability" (§3.2) — a
+//     word can only pass through in a rendezvous, never park;
+//   - capacity c ≥ 1: a FIFO able to buffer c words (§8), optionally
+//     extended into the receiving cell's local memory (the iWarp
+//     "queue extension", §8.1) at the price of a per-access latency
+//     penalty.
+package queue
+
+// Word is the unit of transfer. Real systolic machines move fixed-size
+// machine words; float64 covers every workload in this repository
+// (signal processing and integer sorting alike).
+type Word float64
+
+// Stats aggregates a queue's lifetime counters.
+type Stats struct {
+	// MaxOccupancy is the largest number of buffered words observed.
+	MaxOccupancy int
+	// WordsPassed counts words that entered the queue.
+	WordsPassed int
+	// ExtAccesses counts pops served from the extension region (words
+	// buffered beyond the base capacity).
+	ExtAccesses int
+	// Rebinds counts how many times the queue was reassigned to a new
+	// message.
+	Rebinds int
+}
+
+// Queue is a bounded FIFO of words with an optional extension region.
+// The zero value is unusable; use New.
+type Queue struct {
+	capacity   int // base hardware capacity; 0 = pure latch
+	ext        int // extension capacity beyond base (0 = none)
+	extPenalty int // extra ready-delay per pop while extension in use
+
+	buf      []Word
+	cooldown int // cycles before the front word becomes available
+	stats    Stats
+}
+
+// New returns a queue with the given base capacity, extension capacity
+// and extension access penalty (cycles added before a pop when the
+// occupancy exceeds the base capacity). Negative arguments are treated
+// as zero.
+func New(capacity, ext, extPenalty int) *Queue {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if ext < 0 {
+		ext = 0
+	}
+	if extPenalty < 0 {
+		extPenalty = 0
+	}
+	return &Queue{capacity: capacity, ext: ext, extPenalty: extPenalty}
+}
+
+// Capacity returns the base capacity.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// TotalCapacity returns base + extension capacity.
+func (q *Queue) TotalCapacity() int { return q.capacity + q.ext }
+
+// Len returns the number of buffered words.
+func (q *Queue) Len() int { return len(q.buf) }
+
+// Empty reports whether no words are buffered.
+func (q *Queue) Empty() bool { return len(q.buf) == 0 }
+
+// CanAccept reports whether a Push would succeed. A capacity-0 latch
+// can never hold a word across cycles, so it only "accepts" via the
+// simulator's rendezvous path, never via Push.
+func (q *Queue) CanAccept() bool {
+	return len(q.buf) < q.capacity+q.ext
+}
+
+// Push appends a word; it reports false (and buffers nothing) if the
+// queue is full.
+func (q *Queue) Push(w Word) bool {
+	if !q.CanAccept() {
+		return false
+	}
+	q.buf = append(q.buf, w)
+	q.stats.WordsPassed++
+	if len(q.buf) > q.stats.MaxOccupancy {
+		q.stats.MaxOccupancy = len(q.buf)
+	}
+	return true
+}
+
+// FrontReady reports whether the front word may be popped this cycle.
+// It is false when the queue is empty or when an extension-access
+// cooldown is still running.
+func (q *Queue) FrontReady() bool {
+	return len(q.buf) > 0 && q.cooldown == 0
+}
+
+// Front returns the front word; it must only be called when FrontReady.
+func (q *Queue) Front() Word { return q.buf[0] }
+
+// Pop removes and returns the front word. It must only be called when
+// FrontReady. Popping while the occupancy exceeds the base capacity
+// counts as an extension access and arms the penalty cooldown.
+func (q *Queue) Pop() Word {
+	w := q.buf[0]
+	copy(q.buf, q.buf[1:])
+	q.buf = q.buf[:len(q.buf)-1]
+	if len(q.buf)+1 > q.capacity && q.ext > 0 {
+		q.stats.ExtAccesses++
+		q.cooldown = q.extPenalty
+	}
+	return w
+}
+
+// Tick advances per-cycle state (cooldowns). Call once per simulated
+// cycle.
+func (q *Queue) Tick() {
+	if q.cooldown > 0 {
+		q.cooldown--
+	}
+}
+
+// Cooling reports whether an extension-access cooldown is still
+// running: the queue is not stuck, it is waiting out the penalty. The
+// simulator's deadlock detector must treat this as pending progress.
+func (q *Queue) Cooling() bool { return q.cooldown > 0 }
+
+// Reset empties the queue for reassignment to a new message ("a queue
+// … can be assigned to another message only after the last word in the
+// current message has passed", §2.3 — the simulator only resets empty
+// queues; Reset tolerates leftovers for unit tests).
+func (q *Queue) Reset() {
+	q.buf = q.buf[:0]
+	q.cooldown = 0
+	q.stats.Rebinds++
+}
+
+// Stats returns a copy of the lifetime counters.
+func (q *Queue) Stats() Stats { return q.stats }

@@ -1,0 +1,169 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(4, 0, 0)
+	for i := 0; i < 4; i++ {
+		if !q.Push(Word(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Push(99) {
+		t.Fatal("push into full queue succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.FrontReady() {
+			t.Fatalf("front not ready at %d", i)
+		}
+		if got := q.Pop(); got != Word(i) {
+			t.Fatalf("pop %d = %v", i, got)
+		}
+	}
+	if q.FrontReady() {
+		t.Fatal("empty queue claims ready front")
+	}
+}
+
+func TestCapacityZeroNeverAccepts(t *testing.T) {
+	q := New(0, 0, 0)
+	if q.CanAccept() || q.Push(1) {
+		t.Fatal("latch accepted a buffered word")
+	}
+	if q.TotalCapacity() != 0 {
+		t.Fatal("latch capacity not zero")
+	}
+}
+
+func TestNegativeArgsClamped(t *testing.T) {
+	q := New(-3, -1, -2)
+	if q.Capacity() != 0 || q.TotalCapacity() != 0 {
+		t.Fatal("negative capacities not clamped")
+	}
+}
+
+func TestStatsMaxOccupancyAndWords(t *testing.T) {
+	q := New(3, 0, 0)
+	q.Push(1)
+	q.Push(2)
+	q.Pop()
+	q.Push(3)
+	q.Push(4)
+	s := q.Stats()
+	if s.WordsPassed != 4 {
+		t.Fatalf("WordsPassed=%d", s.WordsPassed)
+	}
+	if s.MaxOccupancy != 3 {
+		t.Fatalf("MaxOccupancy=%d", s.MaxOccupancy)
+	}
+}
+
+func TestExtensionAccountingAndPenalty(t *testing.T) {
+	// Base 1, extension 2, penalty 2 cycles.
+	q := New(1, 2, 2)
+	if q.TotalCapacity() != 3 {
+		t.Fatal("total capacity wrong")
+	}
+	q.Push(10)
+	q.Push(11)
+	q.Push(12) // occupancy 3 > base 1: in extension
+	if !q.FrontReady() {
+		t.Fatal("front should be ready before first pop")
+	}
+	got := q.Pop() // popped while occupancy 3 > 1: extension access
+	if got != 10 {
+		t.Fatalf("pop = %v", got)
+	}
+	if q.Stats().ExtAccesses != 1 {
+		t.Fatalf("ExtAccesses=%d", q.Stats().ExtAccesses)
+	}
+	// Penalty cooldown: front not ready for 2 ticks.
+	if q.FrontReady() {
+		t.Fatal("front ready during cooldown")
+	}
+	q.Tick()
+	if q.FrontReady() {
+		t.Fatal("front ready after one tick of two")
+	}
+	q.Tick()
+	if !q.FrontReady() {
+		t.Fatal("front not ready after cooldown")
+	}
+	q.Pop() // occupancy was 2 > base: another extension access
+	if q.Stats().ExtAccesses != 2 {
+		t.Fatalf("ExtAccesses=%d", q.Stats().ExtAccesses)
+	}
+	q.Tick()
+	q.Tick()
+	q.Pop() // occupancy was 1 ≤ base: normal access
+	if q.Stats().ExtAccesses != 2 {
+		t.Fatalf("final pop counted as extension: %d", q.Stats().ExtAccesses)
+	}
+}
+
+func TestNoExtensionNoPenalty(t *testing.T) {
+	q := New(2, 0, 5) // penalty configured but no extension region
+	q.Push(1)
+	q.Push(2)
+	q.Pop()
+	if !q.FrontReady() {
+		t.Fatal("penalty applied without extension")
+	}
+}
+
+func TestResetCountsRebinds(t *testing.T) {
+	q := New(2, 0, 0)
+	q.Push(1)
+	q.Reset()
+	if q.Len() != 0 || q.Stats().Rebinds != 1 {
+		t.Fatalf("after reset: len=%d rebinds=%d", q.Len(), q.Stats().Rebinds)
+	}
+	q.Reset()
+	if q.Stats().Rebinds != 2 {
+		t.Fatal("second rebind not counted")
+	}
+}
+
+// TestQuickFIFOProperty: any push/pop interleaving preserves order and
+// never exceeds capacity.
+func TestQuickFIFOProperty(t *testing.T) {
+	f := func(ops []bool, capSel uint8) bool {
+		capacity := int(capSel)%5 + 1
+		q := New(capacity, 0, 0)
+		var modelQ []Word
+		next := Word(0)
+		for _, push := range ops {
+			if push {
+				ok := q.Push(next)
+				wantOK := len(modelQ) < capacity
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					modelQ = append(modelQ, next)
+				}
+				next++
+			} else {
+				if q.FrontReady() != (len(modelQ) > 0) {
+					return false
+				}
+				if len(modelQ) > 0 {
+					if q.Pop() != modelQ[0] {
+						return false
+					}
+					modelQ = modelQ[1:]
+				}
+			}
+			if q.Len() != len(modelQ) || q.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

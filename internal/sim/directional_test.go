@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"systolic/internal/assign"
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// bidirectional builds simultaneous opposite-direction traffic over
+// one link: A: C1→C2 and B: C2→C1, fully interleaved at both cells.
+func bidirectional(t testing.TB, words int) *model.Program {
+	t.Helper()
+	b := model.NewBuilder()
+	c1 := b.AddCell("C1")
+	c2 := b.AddCell("C2")
+	a := b.DeclareMessage("A", c1, c2, words)
+	bb := b.DeclareMessage("B", c2, c1, words)
+	for i := 0; i < words; i++ {
+		b.Write(c1, a).Read(c1, bb)
+		b.Read(c2, a).Write(c2, bb)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDirectionalPoolsDoubleEffectiveQueues: one shared queue cannot
+// serve both directions at once (B can never bind), while one queue
+// per direction completes.
+func TestDirectionalPoolsDoubleEffectiveQueues(t *testing.T) {
+	p := bidirectional(t, 4)
+	shared := Config{
+		Topology:      topology.Linear(2),
+		QueuesPerLink: 1,
+		Capacity:      1,
+		Policy:        assign.Naive(assign.FCFS, 0),
+	}
+	res, err := Run(p, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatalf("shared single queue: %s, want deadlock", res.Outcome())
+	}
+	directional := shared
+	directional.Policy = assign.Naive(assign.FCFS, 0)
+	directional.DirectionalPools = true
+	res, err = Run(p, directional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("directional pools: %s\n%s", res.Outcome(), DescribeBlocked(p, res.Blocked))
+	}
+}
+
+// TestDirectionalPoolsEquivalentWhenEnoughQueues: with 2 shared queues
+// the shared pool serves both directions; results agree.
+func TestDirectionalPoolsEquivalentWhenEnoughQueues(t *testing.T) {
+	p := bidirectional(t, 6)
+	base := Config{
+		Topology:      topology.Linear(2),
+		QueuesPerLink: 2,
+		Capacity:      1,
+		Policy:        assign.Naive(assign.FCFS, 0),
+	}
+	shared, err := Run(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirCfg := base
+	dirCfg.Policy = assign.Naive(assign.FCFS, 0)
+	dirCfg.DirectionalPools = true
+	directional, err := Run(p, dirCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared.Completed || !directional.Completed {
+		t.Fatalf("shared=%s directional=%s", shared.Outcome(), directional.Outcome())
+	}
+	for id := range shared.Received {
+		if len(shared.Received[id]) != len(directional.Received[id]) {
+			t.Fatal("received word counts differ between pool modes")
+		}
+	}
+}
+
+// TestDirectionalPoolsWithCompatible runs the labeled pipeline under
+// directional pools on multi-hop bidirectional traffic.
+func TestDirectionalPoolsWithCompatible(t *testing.T) {
+	b := model.NewBuilder()
+	cs := b.AddCells("C", 3)
+	a := b.DeclareMessage("A", cs[0], cs[2], 3)
+	bb := b.DeclareMessage("B", cs[2], cs[0], 3)
+	b.WriteN(cs[0], a, 3).ReadN(cs[0], bb, 3)
+	b.ReadN(cs[2], a, 3).WriteN(cs[2], bb, 3)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Config{
+		Topology:         topology.Linear(3),
+		QueuesPerLink:    1,
+		Capacity:         1,
+		DirectionalPools: true,
+		Policy:           assign.Compatible(),
+		Labels:           []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("run %s\n%s", res.Outcome(), DescribeBlocked(p, res.Blocked))
+	}
+}

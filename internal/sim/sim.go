@@ -1,0 +1,687 @@
+// Package sim executes a systolic program cycle by cycle over a
+// topology with a fixed number of bounded queues per link, under a
+// pluggable queue-assignment policy. It is the run-time substrate that
+// stands in for the Warp/iWarp hardware of the paper: the same
+// abstraction (cells issuing one R/W per cycle, words flowing hop by
+// hop through assigned queues), made deterministic and observable.
+//
+// The simulator detects run-time deadlock exactly: the system is
+// deterministic and monotone, so a cycle in which no operation issues,
+// no word moves, and no queue is granted — while work remains — can
+// never un-stall.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"systolic/internal/assign"
+	"systolic/internal/model"
+	"systolic/internal/queue"
+	"systolic/internal/topology"
+)
+
+// Word re-exports the queue word type.
+type Word = queue.Word
+
+// CellLogic supplies word values so workloads can verify end-to-end
+// arithmetic (e.g. the FIR outputs of Fig 2). Calls follow program
+// order per cell: OnRead when a read completes, Produce when a write
+// issues. Implementations may keep per-cell registers.
+type CellLogic interface {
+	// OnRead observes the index-th word (0-based) of msg arriving at
+	// cell.
+	OnRead(cell model.CellID, msg model.MessageID, index int, w Word)
+	// Produce returns the value of the index-th word (0-based) of msg,
+	// written by cell.
+	Produce(cell model.CellID, msg model.MessageID, index int) Word
+}
+
+// SyntheticLogic is the default CellLogic: word i of message m carries
+// the value m*1e6 + i, so transport bugs (reordering, loss,
+// cross-wiring) are detectable without workload semantics.
+type SyntheticLogic struct{}
+
+// OnRead is a no-op.
+func (SyntheticLogic) OnRead(model.CellID, model.MessageID, int, Word) {}
+
+// Produce encodes (message, index).
+func (SyntheticLogic) Produce(_ model.CellID, msg model.MessageID, index int) Word {
+	return Word(float64(msg)*1e6 + float64(index))
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Topology connects the program's cells. Required.
+	Topology topology.Topology
+	// QueuesPerLink is the fixed number of queues on every link
+	// (§2.3). Must be ≥ 1.
+	QueuesPerLink int
+	// Capacity is each queue's base capacity in words. 0 models the
+	// paper's unbuffered latch: transfers happen only as same-cycle
+	// rendezvous, which restricts every route to a single hop.
+	Capacity int
+	// ExtCapacity and ExtPenalty model the iWarp queue extension
+	// (§8.1): extra buffering beyond Capacity at ExtPenalty additional
+	// cycles per extension access.
+	ExtCapacity int
+	ExtPenalty  int
+	// DirectionalPools splits every link's queue pool in two, one per
+	// traffic direction, instead of the paper's default of one shared
+	// pool whose queues flip direction on reassignment (§2.3 "the
+	// direction of the queue can be reset"). With directional pools a
+	// link effectively offers QueuesPerLink queues per direction.
+	DirectionalPools bool
+	// Policy decides queue bindings. Required.
+	Policy assign.Policy
+	// Labels (dense, per message) are passed to the policy; required
+	// by Compatible and LabelDescending, optional otherwise.
+	Labels []int
+	// Logic supplies word values; nil means SyntheticLogic.
+	Logic CellLogic
+	// MaxCycles bounds the run; 0 means a generous default derived
+	// from program size.
+	MaxCycles int
+	// RecordTimeline captures bind/release events for rendering
+	// (Fig 7's lower half).
+	RecordTimeline bool
+}
+
+// BindEvent is one timeline entry: a queue bound to or released from a
+// message.
+type BindEvent struct {
+	Cycle    int
+	Link     topology.LinkID
+	QueueIdx int // index of the queue within its link's pool
+	Msg      model.MessageID
+	Bound    bool // true = bound, false = released
+}
+
+// CellBlock describes why a cell was stuck when a deadlock was
+// detected.
+type CellBlock struct {
+	Cell   model.CellID
+	Op     model.Op
+	OpIdx  int
+	Reason string
+}
+
+// QueueStat pairs a queue's identity with its counters.
+type QueueStat struct {
+	Link     topology.LinkID
+	QueueIdx int
+	Stats    queue.Stats
+}
+
+// Stats aggregates run counters.
+type Stats struct {
+	Cycles        int
+	WordsMoved    int // total hop traversals (incl. final reads)
+	Grants        int
+	Releases      int
+	BlockedCycles []int // per cell: cycles spent with a stalled op
+	Queues        []QueueStat
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	// Exactly one of Completed, Deadlocked, TimedOut is true.
+	Completed  bool
+	Deadlocked bool
+	TimedOut   bool
+	Cycles     int
+	// Received holds, per message, the words observed by the
+	// receiver in arrival order (length == Words on completion).
+	Received [][]Word
+	// Blocked describes stuck cells when Deadlocked.
+	Blocked []CellBlock
+	// Timeline is non-nil when Config.RecordTimeline.
+	Timeline []BindEvent
+	Stats    Stats
+}
+
+// Outcome returns "completed", "deadlocked" or "timed-out".
+func (r *Result) Outcome() string {
+	switch {
+	case r.Completed:
+		return "completed"
+	case r.Deadlocked:
+		return "deadlocked"
+	default:
+		return "timed-out"
+	}
+}
+
+// queueInst is one physical queue in a link's pool.
+type queueInst struct {
+	link topology.LinkID // real link, for reporting
+	idx  int
+	q    *queue.Queue
+
+	bound bool
+	msg   model.MessageID
+	hop   int // index into the bound message's route
+}
+
+// poolID identifies a queue pool as the policy sees it: the real link
+// id under the shared-pool default, or a synthetic per-direction id
+// (2·link, 2·link+1) under DirectionalPools. Policies treat pool ids
+// opaquely, so the synthetic encoding stays internal to the runner.
+type poolID = topology.LinkID
+
+// msgState tracks one message's transport progress.
+type msgState struct {
+	route     []topology.Hop
+	queues    []*queueInst // per hop; nil until granted
+	granted   []bool
+	requested []bool
+	departed  []int // words that have left hop i (last hop: read by receiver)
+	written   int   // words pushed by the sender
+	read      int   // words consumed by the receiver
+}
+
+type runner struct {
+	p      *model.Program
+	cfg    Config
+	logic  CellLogic
+	routes [][]topology.Hop
+	links  []topology.Link
+
+	pools    map[poolID][]*queueInst
+	poolIDs  []poolID
+	pending  map[poolID][]model.MessageID
+	hopOf    map[poolMsg]int
+	msgs     []msgState
+	pc       []int
+	issued   []bool
+	received [][]Word
+
+	res   Result
+	stats Stats
+	now   int
+	moved bool // any event this cycle
+}
+
+type poolMsg struct {
+	pool poolID
+	msg  model.MessageID
+}
+
+// poolOf maps a route hop to the pool that serves it.
+func (r *runner) poolOf(h topology.Hop) poolID {
+	if !r.cfg.DirectionalPools {
+		return h.Link
+	}
+	dir := poolID(0)
+	if h.From != r.links[h.Link].A {
+		dir = 1
+	}
+	return 2*h.Link + dir
+}
+
+// Run simulates the program to completion, deadlock, or the cycle
+// bound. It returns an error only for configuration problems; run-time
+// deadlock is a Result, not an error.
+func Run(p *model.Program, cfg Config) (*Result, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("sim: nil topology")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	if cfg.QueuesPerLink < 1 {
+		return nil, fmt.Errorf("sim: QueuesPerLink %d < 1", cfg.QueuesPerLink)
+	}
+	if cfg.Capacity < 0 || cfg.ExtCapacity < 0 || cfg.ExtPenalty < 0 {
+		return nil, fmt.Errorf("sim: negative capacity or penalty")
+	}
+	routes, err := topology.Routes(p, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Capacity == 0 {
+		for id, rt := range routes {
+			if len(rt) > 1 {
+				return nil, fmt.Errorf(
+					"sim: capacity 0 (latch) supports single-hop routes only; message %s crosses %d links",
+					p.Message(model.MessageID(id)).Name, len(rt))
+			}
+		}
+		if cfg.ExtCapacity > 0 {
+			return nil, fmt.Errorf("sim: queue extension requires base capacity ≥ 1")
+		}
+	}
+	logic := cfg.Logic
+	if logic == nil {
+		logic = SyntheticLogic{}
+	}
+
+	r := &runner{p: p, cfg: cfg, logic: logic, routes: routes, links: cfg.Topology.Links()}
+	r.setup()
+
+	// Competing sets are keyed by pool: the whole link under the
+	// shared-pool default, per direction under DirectionalPools.
+	competing := make(map[topology.LinkID][]model.MessageID)
+	for id, route := range routes {
+		for _, h := range route {
+			key := r.poolOf(h)
+			competing[key] = append(competing[key], model.MessageID(id))
+		}
+	}
+	ctx := &assign.Context{
+		Program:       p,
+		Routes:        routes,
+		Competing:     competing,
+		Labels:        cfg.Labels,
+		QueuesPerLink: cfg.QueuesPerLink,
+	}
+	if err := cfg.Policy.Setup(ctx); err != nil {
+		return nil, err
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles(p, routes)
+	}
+	for r.now = 0; r.now < maxCycles; r.now++ {
+		if r.done() {
+			break
+		}
+		r.moved = false
+		r.tickQueues()
+		r.collectRequests()
+		r.grantPhase()
+		r.cellAndTransferPhase()
+		r.releasePhase()
+		r.accountBlocked()
+		if !r.moved && !r.anyCooling() {
+			r.res.Deadlocked = true
+			r.res.Blocked = r.blockedReport()
+			break
+		}
+	}
+	r.res.Completed = r.done()
+	if !r.res.Completed && !r.res.Deadlocked {
+		r.res.TimedOut = true
+	}
+	r.res.Cycles = r.now
+	r.res.Received = r.received
+	r.stats.Cycles = r.now
+	for _, link := range r.poolIDs {
+		for _, qi := range r.pools[link] {
+			r.stats.Queues = append(r.stats.Queues, QueueStat{Link: link, QueueIdx: qi.idx, Stats: qi.q.Stats()})
+		}
+	}
+	r.res.Stats = r.stats
+	return &r.res, nil
+}
+
+func defaultMaxCycles(p *model.Program, routes [][]topology.Hop) int {
+	words, hops := 0, 0
+	for _, m := range p.Messages() {
+		words += m.Words
+		hops += len(routes[m.ID])
+	}
+	n := 16*(words+1)*(hops+1) + 4096
+	if n < 1<<14 {
+		n = 1 << 14
+	}
+	return n
+}
+
+func (r *runner) setup() {
+	p, cfg := r.p, r.cfg
+	r.pools = make(map[poolID][]*queueInst)
+	newPool := func(key poolID, realLink topology.LinkID) {
+		pool := make([]*queueInst, cfg.QueuesPerLink)
+		for i := range pool {
+			pool[i] = &queueInst{link: realLink, idx: i, q: queue.New(cfg.Capacity, cfg.ExtCapacity, cfg.ExtPenalty)}
+		}
+		r.pools[key] = pool
+		r.poolIDs = append(r.poolIDs, key)
+	}
+	for _, l := range r.links {
+		if cfg.DirectionalPools {
+			newPool(2*l.ID, l.ID)
+			newPool(2*l.ID+1, l.ID)
+		} else {
+			newPool(l.ID, l.ID)
+		}
+	}
+	sort.Slice(r.poolIDs, func(i, j int) bool { return r.poolIDs[i] < r.poolIDs[j] })
+	r.pending = make(map[poolID][]model.MessageID)
+	r.hopOf = make(map[poolMsg]int)
+	r.msgs = make([]msgState, p.NumMessages())
+	for id := range r.msgs {
+		rt := r.routes[id]
+		r.msgs[id] = msgState{
+			route:     rt,
+			queues:    make([]*queueInst, len(rt)),
+			granted:   make([]bool, len(rt)),
+			requested: make([]bool, len(rt)),
+			departed:  make([]int, len(rt)),
+		}
+		for hop, h := range rt {
+			r.hopOf[poolMsg{r.poolOf(h), model.MessageID(id)}] = hop
+		}
+	}
+	r.pc = make([]int, p.NumCells())
+	r.issued = make([]bool, p.NumCells())
+	r.received = make([][]Word, p.NumMessages())
+	r.stats.BlockedCycles = make([]int, p.NumCells())
+}
+
+func (r *runner) done() bool {
+	for c := 0; c < r.p.NumCells(); c++ {
+		if r.pc[c] < len(r.p.Code(model.CellID(c))) {
+			return false
+		}
+	}
+	return true
+}
+
+// anyCooling reports whether some queue is waiting out an
+// extension-access penalty; such cycles are latency, not deadlock.
+func (r *runner) anyCooling() bool {
+	for _, link := range r.poolIDs {
+		for _, qi := range r.pools[link] {
+			if qi.q.Cooling() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *runner) tickQueues() {
+	for _, link := range r.poolIDs {
+		for _, qi := range r.pools[link] {
+			qi.q.Tick()
+		}
+	}
+}
+
+// collectRequests registers queue requests: a message asks for its
+// first hop when its sender reaches a W on it, and for hop i>0 when its
+// header is buffered at the cell feeding that hop (§5: "when the
+// header of a message arrives at a cell").
+func (r *runner) collectRequests() {
+	for c := 0; c < r.p.NumCells(); c++ {
+		code := r.p.Code(model.CellID(c))
+		if r.pc[c] >= len(code) {
+			continue
+		}
+		op := code[r.pc[c]]
+		if op.Kind != model.Write {
+			continue
+		}
+		ms := &r.msgs[op.Msg]
+		if len(ms.route) > 0 && !ms.requested[0] {
+			ms.requested[0] = true
+			r.pending[r.poolOf(ms.route[0])] = append(r.pending[r.poolOf(ms.route[0])], op.Msg)
+		}
+	}
+	for id := range r.msgs {
+		ms := &r.msgs[id]
+		for hop := 1; hop < len(ms.route); hop++ {
+			if ms.requested[hop] || ms.queues[hop-1] == nil {
+				continue
+			}
+			if ms.queues[hop-1].q.Len() > 0 {
+				ms.requested[hop] = true
+				r.pending[r.poolOf(ms.route[hop])] = append(r.pending[r.poolOf(ms.route[hop])], model.MessageID(id))
+			}
+		}
+	}
+}
+
+func (r *runner) grantPhase() {
+	for _, link := range r.poolIDs {
+		free := 0
+		for _, qi := range r.pools[link] {
+			if !qi.bound {
+				free++
+			}
+		}
+		grants := r.cfg.Policy.Grant(r.now, link, free, r.pending[link])
+		for _, msg := range grants {
+			if free == 0 {
+				break // policy over-granted; ignore the excess
+			}
+			hop, ok := r.hopOf[poolMsg{link, msg}]
+			if !ok || r.msgs[msg].granted[hop] {
+				continue
+			}
+			var qi *queueInst
+			for _, cand := range r.pools[link] {
+				if !cand.bound {
+					qi = cand
+					break
+				}
+			}
+			qi.bound = true
+			qi.msg = msg
+			qi.hop = hop
+			ms := &r.msgs[msg]
+			ms.granted[hop] = true
+			ms.queues[hop] = qi
+			free--
+			r.moved = true
+			r.stats.Grants++
+			r.removePending(link, msg)
+			if r.cfg.RecordTimeline {
+				r.res.Timeline = append(r.res.Timeline, BindEvent{Cycle: r.now, Link: link, QueueIdx: qi.idx, Msg: msg, Bound: true})
+			}
+		}
+	}
+}
+
+func (r *runner) removePending(link topology.LinkID, msg model.MessageID) {
+	lst := r.pending[link]
+	for i, m := range lst {
+		if m == msg {
+			r.pending[link] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}
+
+// cellAndTransferPhase performs, in order: receiver reads, interior
+// hop advances (swept from the receiver side so a pipeline advances
+// one hop everywhere in a single cycle), rendezvous transfers for
+// capacity-0 latches, and sender writes. Each cell issues at most one
+// operation per cycle.
+func (r *runner) cellAndTransferPhase() {
+	for c := range r.issued {
+		r.issued[c] = false
+	}
+	// 1. Receiver reads from buffered last-hop queues.
+	for c := 0; c < r.p.NumCells(); c++ {
+		cell := model.CellID(c)
+		code := r.p.Code(cell)
+		if r.issued[c] || r.pc[c] >= len(code) {
+			continue
+		}
+		op := code[r.pc[c]]
+		if op.Kind != model.Read {
+			continue
+		}
+		ms := &r.msgs[op.Msg]
+		last := len(ms.route) - 1
+		if last < 0 || ms.queues[last] == nil {
+			continue
+		}
+		qi := ms.queues[last]
+		if !qi.q.FrontReady() {
+			continue
+		}
+		w := qi.q.Pop()
+		r.logic.OnRead(cell, op.Msg, ms.read, w)
+		r.received[op.Msg] = append(r.received[op.Msg], w)
+		ms.read++
+		ms.departed[last]++
+		r.pc[c]++
+		r.issued[c] = true
+		r.moved = true
+		r.stats.WordsMoved++
+	}
+	// 2. Interior advances, last hop toward receiver first.
+	for id := range r.msgs {
+		ms := &r.msgs[id]
+		for hop := len(ms.route) - 2; hop >= 0; hop-- {
+			src, dst := ms.queues[hop], ms.queues[hop+1]
+			if src == nil || dst == nil {
+				continue
+			}
+			if src.q.FrontReady() && dst.q.CanAccept() {
+				dst.q.Push(src.q.Pop())
+				ms.departed[hop]++
+				r.moved = true
+				r.stats.WordsMoved++
+			}
+		}
+	}
+	// 3. Capacity-0 rendezvous: single-hop messages hand a word
+	//    directly from a writing sender to a reading receiver.
+	if r.cfg.Capacity == 0 {
+		r.rendezvous()
+	}
+	// 4. Sender writes into first-hop queues.
+	for c := 0; c < r.p.NumCells(); c++ {
+		cell := model.CellID(c)
+		code := r.p.Code(cell)
+		if r.issued[c] || r.pc[c] >= len(code) {
+			continue
+		}
+		op := code[r.pc[c]]
+		if op.Kind != model.Write {
+			continue
+		}
+		ms := &r.msgs[op.Msg]
+		if len(ms.route) == 0 || ms.queues[0] == nil {
+			continue
+		}
+		qi := ms.queues[0]
+		if !qi.q.CanAccept() {
+			continue
+		}
+		qi.q.Push(r.logic.Produce(cell, op.Msg, ms.written))
+		ms.written++
+		r.pc[c]++
+		r.issued[c] = true
+		r.moved = true
+	}
+}
+
+// rendezvous matches W(m) senders with R(m) receivers over bound
+// capacity-0 latches: the word passes through without ever being
+// buffered, the paper's "queues are just latches" regime.
+func (r *runner) rendezvous() {
+	for id := range r.msgs {
+		ms := &r.msgs[id]
+		if len(ms.route) != 1 || ms.queues[0] == nil {
+			continue
+		}
+		m := r.p.Message(model.MessageID(id))
+		sc, rc := int(m.Sender), int(m.Receiver)
+		if r.issued[sc] || r.issued[rc] {
+			continue
+		}
+		sCode, rCode := r.p.Code(m.Sender), r.p.Code(m.Receiver)
+		if r.pc[sc] >= len(sCode) || r.pc[rc] >= len(rCode) {
+			continue
+		}
+		sOp, rOp := sCode[r.pc[sc]], rCode[r.pc[rc]]
+		if sOp.Kind != model.Write || sOp.Msg != model.MessageID(id) {
+			continue
+		}
+		if rOp.Kind != model.Read || rOp.Msg != model.MessageID(id) {
+			continue
+		}
+		w := r.logic.Produce(m.Sender, m.ID, ms.written)
+		r.logic.OnRead(m.Receiver, m.ID, ms.read, w)
+		r.received[m.ID] = append(r.received[m.ID], w)
+		ms.written++
+		ms.read++
+		ms.departed[0]++
+		r.pc[sc]++
+		r.pc[rc]++
+		r.issued[sc] = true
+		r.issued[rc] = true
+		r.moved = true
+		r.stats.WordsMoved++
+	}
+}
+
+// releasePhase frees queues whose message has fully passed (§2.3: a
+// queue may be reassigned only after the current message's last word
+// has passed it).
+func (r *runner) releasePhase() {
+	for id := range r.msgs {
+		ms := &r.msgs[id]
+		m := r.p.Message(model.MessageID(id))
+		for hop := range ms.route {
+			if !ms.granted[hop] || ms.queues[hop] == nil {
+				continue
+			}
+			if ms.departed[hop] == m.Words && ms.queues[hop].q.Empty() {
+				qi := ms.queues[hop]
+				qi.bound = false
+				qi.q.Reset()
+				ms.queues[hop] = nil // keep granted=true: the message had its turn
+				r.stats.Releases++
+				if r.cfg.RecordTimeline {
+					r.res.Timeline = append(r.res.Timeline, BindEvent{Cycle: r.now, Link: qi.link, QueueIdx: qi.idx, Msg: model.MessageID(id), Bound: false})
+				}
+			}
+		}
+	}
+}
+
+func (r *runner) accountBlocked() {
+	for c := 0; c < r.p.NumCells(); c++ {
+		if !r.issued[c] && r.pc[c] < len(r.p.Code(model.CellID(c))) {
+			r.stats.BlockedCycles[c]++
+		}
+	}
+}
+
+func (r *runner) blockedReport() []CellBlock {
+	var out []CellBlock
+	for c := 0; c < r.p.NumCells(); c++ {
+		cell := model.CellID(c)
+		code := r.p.Code(cell)
+		if r.pc[c] >= len(code) {
+			continue
+		}
+		op := code[r.pc[c]]
+		out = append(out, CellBlock{Cell: cell, Op: op, OpIdx: r.pc[c], Reason: r.blockReason(cell, op)})
+	}
+	return out
+}
+
+func (r *runner) blockReason(cell model.CellID, op model.Op) string {
+	ms := &r.msgs[op.Msg]
+	name := r.p.Message(op.Msg).Name
+	if op.Kind == model.Write {
+		if len(ms.route) > 0 && !ms.granted[0] {
+			return fmt.Sprintf("no queue bound for %s on its first link", name)
+		}
+		return fmt.Sprintf("queue for %s is full (capacity %d) and the downstream never drains", name, r.cfg.Capacity)
+	}
+	last := len(ms.route) - 1
+	if last >= 0 && !ms.granted[last] {
+		return fmt.Sprintf("no queue bound for %s on its last link", name)
+	}
+	return fmt.Sprintf("no word of %s has arrived", name)
+}
+
+// DescribeBlocked renders a deadlock report, one line per stuck cell.
+func DescribeBlocked(p *model.Program, blocked []CellBlock) string {
+	var b strings.Builder
+	for _, cb := range blocked {
+		fmt.Fprintf(&b, "%s stuck at %s: %s\n", p.Cell(cb.Cell).Name, p.OpString(cb.Op), cb.Reason)
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"systolic/internal/model"
+)
+
+func TestTorusWraparound(t *testing.T) {
+	tor := Torus2D(4, 4)
+	// 0 → 3 takes the wraparound (1 hop), not 3 hops across.
+	hops, err := tor.Route(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 1 {
+		t.Fatalf("wrap route length %d, want 1", len(hops))
+	}
+	// (0,0) → (2,2): 2+2 = 4 hops (no shorter wrap at distance n/2;
+	// tie goes forward).
+	hops, err = tor.Route(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 4 {
+		t.Fatalf("route length %d, want 4", len(hops))
+	}
+}
+
+func TestTorusLinkCount(t *testing.T) {
+	// 4x4 torus: 2 links per cell dimension pair = 2*16 = 32.
+	if got := len(Torus2D(4, 4).Links()); got != 32 {
+		t.Fatalf("links=%d, want 32", got)
+	}
+	// Degenerate 1x4 torus: a ring of 4.
+	if got := len(Torus2D(1, 4).Links()); got != 4 {
+		t.Fatalf("1x4 torus links=%d, want 4", got)
+	}
+}
+
+func TestQuickTorusRouteIsShortest(t *testing.T) {
+	rows, cols := 5, 6
+	tor := Torus2D(rows, cols)
+	dist := func(a, b, size int) int {
+		d := (b - a + size) % size
+		if size-d < d {
+			return size - d
+		}
+		return d
+	}
+	f := func(a, b uint8) bool {
+		from := int(a) % (rows * cols)
+		to := int(b) % (rows * cols)
+		if from == to {
+			return true
+		}
+		hops, err := tor.Route(model.CellID(from), model.CellID(to))
+		if err != nil {
+			return false
+		}
+		want := dist(from%cols, to%cols, cols) + dist(from/cols, to/cols, rows)
+		return len(hops) == want && hops[len(hops)-1].To == model.CellID(to)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypercubeECubeRouting(t *testing.T) {
+	h := Hypercube(3)
+	if h.NumCells() != 8 {
+		t.Fatalf("cells=%d", h.NumCells())
+	}
+	// 8 cells × 3 links / 2 = 12 links.
+	if got := len(h.Links()); got != 12 {
+		t.Fatalf("links=%d, want 12", got)
+	}
+	// 000 → 111: 3 hops flipping bits low to high: 001, 011, 111.
+	hops, err := h.Route(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPath := []model.CellID{1, 3, 7}
+	if len(hops) != 3 {
+		t.Fatalf("route %v", hops)
+	}
+	for i, h := range hops {
+		if h.To != wantPath[i] {
+			t.Fatalf("hop %d to %d, want %d", i, h.To, wantPath[i])
+		}
+	}
+}
+
+func TestQuickHypercubeRouteLengthIsHamming(t *testing.T) {
+	h := Hypercube(4)
+	f := func(a, b uint8) bool {
+		from := int(a) % 16
+		to := int(b) % 16
+		if from == to {
+			return true
+		}
+		hops, err := h.Route(model.CellID(from), model.CellID(to))
+		if err != nil {
+			return false
+		}
+		ham := 0
+		for d := from ^ to; d != 0; d >>= 1 {
+			ham += d & 1
+		}
+		return len(hops) == ham
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarRouting(t *testing.T) {
+	s := Star(5)
+	if got := len(s.Links()); got != 4 {
+		t.Fatalf("links=%d, want 4", got)
+	}
+	hops, err := s.Route(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 2 || hops[0].To != 0 || hops[1].To != 3 {
+		t.Fatalf("leaf-leaf route %v", hops)
+	}
+	hops, err = s.Route(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 1 {
+		t.Fatalf("hub route %v", hops)
+	}
+}

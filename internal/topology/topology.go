@@ -1,0 +1,309 @@
+// Package topology models interconnection structure: which cells are
+// adjacent, the links ("intervals" in the paper's §2.3) between them,
+// and how messages are routed from sender to receiver.
+//
+// The paper presents everything on 1-dimensional arrays but states the
+// results apply to any dimensionality and interconnection topology.
+// This package provides linear arrays, rings, 2-D meshes and tori with
+// deterministic XY routing, and arbitrary graphs with BFS shortest-path
+// routing.
+package topology
+
+import (
+	"fmt"
+
+	"systolic/internal/model"
+)
+
+// LinkID identifies an undirected link between two adjacent cells.
+// Both directions of traffic cross the same link and, in the paper's
+// model, draw queues from the same fixed set ("the direction of the
+// queue can be reset", §2.3).
+type LinkID int
+
+// Link is an undirected edge between adjacent cells A and B (A < B).
+type Link struct {
+	ID   LinkID
+	A, B model.CellID
+}
+
+// Hop is one directed step of a route: a message's words traverse Link
+// from From to To.
+type Hop struct {
+	Link LinkID
+	From model.CellID
+	To   model.CellID
+}
+
+// Topology exposes the structure the deadlock machinery needs: links
+// and a deterministic route for every (sender, receiver) pair.
+type Topology interface {
+	// NumCells returns the number of cells the topology connects.
+	NumCells() int
+	// Links returns all links. The slice must not be modified.
+	Links() []Link
+	// Route returns the deterministic sequence of hops a message takes
+	// from sender to receiver. It fails if no path exists or the cells
+	// are out of range.
+	Route(from, to model.CellID) ([]Hop, error)
+	// Name returns a human-readable description.
+	Name() string
+}
+
+// graph is the shared implementation: adjacency plus a routing policy.
+type graph struct {
+	name    string
+	n       int
+	links   []Link
+	linkAt  map[[2]model.CellID]LinkID
+	routeFn func(g *graph, from, to model.CellID) ([]Hop, error)
+}
+
+func (g *graph) NumCells() int { return g.n }
+func (g *graph) Links() []Link { return g.links }
+func (g *graph) Name() string  { return g.name }
+
+func (g *graph) addLink(a, b model.CellID) {
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]model.CellID{a, b}
+	if _, dup := g.linkAt[key]; dup {
+		return
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, A: a, B: b})
+	g.linkAt[key] = id
+}
+
+// linkBetween returns the link joining a and b, if adjacent.
+func (g *graph) linkBetween(a, b model.CellID) (LinkID, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	id, ok := g.linkAt[[2]model.CellID{a, b}]
+	return id, ok
+}
+
+func (g *graph) Route(from, to model.CellID) ([]Hop, error) {
+	if err := g.check(from); err != nil {
+		return nil, err
+	}
+	if err := g.check(to); err != nil {
+		return nil, err
+	}
+	if from == to {
+		return nil, fmt.Errorf("topology: route from cell %d to itself", from)
+	}
+	return g.routeFn(g, from, to)
+}
+
+func (g *graph) check(c model.CellID) error {
+	if int(c) < 0 || int(c) >= g.n {
+		return fmt.Errorf("topology: cell %d out of range [0,%d)", c, g.n)
+	}
+	return nil
+}
+
+// hopsAlong converts a cell path into hops, validating adjacency.
+func (g *graph) hopsAlong(path []model.CellID) ([]Hop, error) {
+	hops := make([]Hop, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		id, ok := g.linkBetween(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("topology: cells %d and %d not adjacent", path[i], path[i+1])
+		}
+		hops = append(hops, Hop{Link: id, From: path[i], To: path[i+1]})
+	}
+	return hops, nil
+}
+
+// Linear returns a 1-D array of n cells 0—1—…—n-1. Minimum-length
+// routes are the only routes, so the intervals a message crosses are
+// completely determined by its endpoints (§2.3).
+func Linear(n int) Topology {
+	g := &graph{name: fmt.Sprintf("linear(%d)", n), n: n, linkAt: make(map[[2]model.CellID]LinkID)}
+	for i := 0; i+1 < n; i++ {
+		g.addLink(model.CellID(i), model.CellID(i+1))
+	}
+	g.routeFn = func(g *graph, from, to model.CellID) ([]Hop, error) {
+		step := model.CellID(1)
+		if to < from {
+			step = -1
+		}
+		path := []model.CellID{from}
+		for c := from; c != to; {
+			c += step
+			path = append(path, c)
+		}
+		return g.hopsAlong(path)
+	}
+	return g
+}
+
+// Ring returns a ring of n cells; routes take the shorter arc,
+// breaking ties clockwise (increasing cell id).
+func Ring(n int) Topology {
+	g := &graph{name: fmt.Sprintf("ring(%d)", n), n: n, linkAt: make(map[[2]model.CellID]LinkID)}
+	for i := 0; i < n; i++ {
+		g.addLink(model.CellID(i), model.CellID((i+1)%n))
+	}
+	g.routeFn = func(g *graph, from, to model.CellID) ([]Hop, error) {
+		cw := (int(to) - int(from) + n) % n
+		ccw := n - cw
+		step := 1
+		if ccw < cw {
+			step = -1
+		}
+		path := []model.CellID{from}
+		for c := int(from); model.CellID(c) != to; {
+			c = (c + step + n) % n
+			path = append(path, model.CellID(c))
+		}
+		return g.hopsAlong(path)
+	}
+	return g
+}
+
+// Mesh2D returns a rows×cols mesh with deterministic XY (row-first)
+// dimension-ordered routing. Cell (r,c) has id r*cols+c.
+func Mesh2D(rows, cols int) Topology {
+	g := &graph{name: fmt.Sprintf("mesh(%dx%d)", rows, cols), n: rows * cols, linkAt: make(map[[2]model.CellID]LinkID)}
+	id := func(r, c int) model.CellID { return model.CellID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.addLink(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.addLink(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	g.routeFn = func(g *graph, from, to model.CellID) ([]Hop, error) {
+		fr, fc := int(from)/cols, int(from)%cols
+		tr, tc := int(to)/cols, int(to)%cols
+		path := []model.CellID{from}
+		r, c := fr, fc
+		for c != tc { // X first
+			if c < tc {
+				c++
+			} else {
+				c--
+			}
+			path = append(path, id(r, c))
+		}
+		for r != tr { // then Y
+			if r < tr {
+				r++
+			} else {
+				r--
+			}
+			path = append(path, id(r, c))
+		}
+		return g.hopsAlong(path)
+	}
+	return g
+}
+
+// Graph returns an arbitrary topology from an explicit edge list, with
+// BFS shortest-path routing (ties broken toward lower-id neighbors, so
+// routes are deterministic).
+func Graph(n int, edges [][2]model.CellID) Topology {
+	g := &graph{name: fmt.Sprintf("graph(%d cells, %d edges)", n, len(edges)), n: n, linkAt: make(map[[2]model.CellID]LinkID)}
+	for _, e := range edges {
+		g.addLink(e[0], e[1])
+	}
+	adj := make([][]model.CellID, n)
+	for _, l := range g.links {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	g.routeFn = func(g *graph, from, to model.CellID) ([]Hop, error) {
+		prev := make([]model.CellID, n)
+		seen := make([]bool, n)
+		for i := range prev {
+			prev[i] = -1
+		}
+		queue := []model.CellID{from}
+		seen[from] = true
+		for len(queue) > 0 && !seen[to] {
+			c := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[c] {
+				if !seen[nb] {
+					seen[nb] = true
+					prev[nb] = c
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if !seen[to] {
+			return nil, fmt.Errorf("topology: no path from cell %d to cell %d", from, to)
+		}
+		var rev []model.CellID
+		for c := to; c != -1; c = prev[c] {
+			rev = append(rev, c)
+			if c == from {
+				break
+			}
+		}
+		path := make([]model.CellID, len(rev))
+		for i, c := range rev {
+			path[len(rev)-1-i] = c
+		}
+		return g.hopsAlong(path)
+	}
+	return g
+}
+
+// Routes computes the route of every message of p over t. The result
+// is indexed by MessageID.
+func Routes(p *model.Program, t Topology) ([][]Hop, error) {
+	if p.NumCells() > t.NumCells() {
+		return nil, fmt.Errorf("topology: program has %d cells but %s has only %d", p.NumCells(), t.Name(), t.NumCells())
+	}
+	routes := make([][]Hop, p.NumMessages())
+	for _, m := range p.Messages() {
+		r, err := t.Route(m.Sender, m.Receiver)
+		if err != nil {
+			return nil, fmt.Errorf("topology: message %s: %w", m.Name, err)
+		}
+		routes[m.ID] = r
+	}
+	return routes, nil
+}
+
+// Competing groups messages by the links they cross: the result maps
+// each link to the ids of all messages whose route includes it.
+// Messages crossing the same interval are "competing" (§2.3) and may
+// have to share that link's queues.
+func Competing(routes [][]Hop) map[LinkID][]model.MessageID {
+	out := make(map[LinkID][]model.MessageID)
+	for id, route := range routes {
+		for _, h := range route {
+			out[h.Link] = append(out[h.Link], model.MessageID(id))
+		}
+	}
+	return out
+}
+
+// CompetingDirectional is Competing restricted to one direction: the
+// key includes the hop direction, matching the paper's definition of
+// competing messages ("cross the same interval in the same direction").
+type DirectedLink struct {
+	Link LinkID
+	From model.CellID
+}
+
+// CompetingByDirection groups message ids by (link, direction).
+func CompetingByDirection(routes [][]Hop) map[DirectedLink][]model.MessageID {
+	out := make(map[DirectedLink][]model.MessageID)
+	for id, route := range routes {
+		for _, h := range route {
+			k := DirectedLink{Link: h.Link, From: h.From}
+			out[k] = append(out[k], model.MessageID(id))
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"systolic/internal/crossoff"
+	"systolic/internal/label"
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+func TestRandomDeadlockFreeIsAlwaysDeadlockFree(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := RandomDeadlockFree(rng, RandomOptions{
+			Cells:    2 + rng.Intn(5),
+			Messages: 1 + rng.Intn(8),
+			MaxWords: 4,
+			Chain:    seed%2 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !crossoff.Classify(p, crossoff.Options{}) {
+			t.Fatalf("seed %d: generated program not deadlock-free:\n%s", seed, p)
+		}
+	}
+}
+
+func TestRandomDeadlockFreeValidatesOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomDeadlockFree(rng, RandomOptions{Cells: 1, Messages: 1}); err == nil {
+		t.Fatal("1 cell accepted")
+	}
+	if _, err := RandomDeadlockFree(rng, RandomOptions{Cells: 2, Messages: 0}); err == nil {
+		t.Fatal("0 messages accepted")
+	}
+}
+
+func TestSection6LabelsRandomPrograms(t *testing.T) {
+	// The paper claims the §6 scheme produces a consistent labeling
+	// for any deadlock-free program; validate over many random ones.
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := RandomDeadlockFree(rng, RandomOptions{
+			Cells:    2 + rng.Intn(5),
+			Messages: 1 + rng.Intn(8),
+			MaxWords: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab, err := label.Assign(p, label.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: labeling failed: %v\n%s", seed, err, p)
+		}
+		if err := label.Check(p, lab.ByMessage); err != nil {
+			t.Fatalf("seed %d: inconsistent labeling: %v\n%s", seed, err, p)
+		}
+	}
+}
+
+func TestMutateToDeadlockFindsNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	found := 0
+	for i := 0; i < 20; i++ {
+		p, err := RandomDeadlockFree(rng, RandomOptions{Cells: 3, Messages: 4, MaxWords: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mutant, ok := MutateToDeadlock(rng, p, 50); ok {
+			found++
+			if crossoff.Classify(mutant, crossoff.Options{}) {
+				t.Fatal("MutateToDeadlock returned a deadlock-free program")
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("mutation never produced a deadlocked program in 20 tries")
+	}
+}
+
+func TestSwapAdjacent(t *testing.T) {
+	b := model.NewBuilder()
+	c1 := b.AddCell("C1")
+	c2 := b.AddCell("C2")
+	a := b.DeclareMessage("A", c1, c2, 1)
+	bb := b.DeclareMessage("B", c1, c2, 1)
+	b.Write(c1, a).Write(c1, bb)
+	b.Read(c2, a).Read(c2, bb)
+	p := b.MustBuild()
+
+	q, err := SwapAdjacent(p, c1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Code(c1)[0].Msg != bb || q.Code(c1)[1].Msg != a {
+		t.Fatal("swap did not exchange ops")
+	}
+	if p.Code(c1)[0].Msg != a {
+		t.Fatal("swap mutated the original")
+	}
+	if _, err := SwapAdjacent(p, c1, 5); err == nil {
+		t.Fatal("out-of-range swap accepted")
+	}
+}
+
+func TestRebuildPreservesHostFlag(t *testing.T) {
+	b := model.NewBuilder()
+	h := b.AddHost("Host")
+	c := b.AddCell("C1")
+	a := b.DeclareMessage("A", h, c, 1)
+	b.Write(h, a)
+	b.Read(c, a)
+	p := b.MustBuild()
+	q, err := Rebuild(p, [][]model.Op{p.Code(h), p.Code(c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Cell(h).Host {
+		t.Fatal("host flag lost in rebuild")
+	}
+}
+
+func TestCheckPreconditionsFig8Shape(t *testing.T) {
+	// A and B related (same label) and both crossing one link: the
+	// report must demand 2 queues.
+	b := model.NewBuilder()
+	cs := b.AddCells("C", 3)
+	a := b.DeclareMessage("A", cs[1], cs[2], 4)
+	bb := b.DeclareMessage("B", cs[0], cs[2], 3)
+	b.WriteN(cs[0], bb, 3)
+	b.WriteN(cs[1], a, 4)
+	b.Read(cs[2], a).Read(cs[2], bb).Read(cs[2], a).Read(cs[2], a)
+	b.Read(cs[2], bb).Read(cs[2], bb).Read(cs[2], a)
+	p := b.MustBuild()
+
+	lab, err := label.Assign(p, label.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckPreconditions(p, topology.Linear(3), lab.Dense, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxGroup != 2 {
+		t.Fatalf("MaxGroup=%d, want 2", rep.MaxGroup)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("no violation reported with 1 queue")
+	}
+	rep, err = CheckPreconditions(p, topology.Linear(3), lab.Dense, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations with 2 queues: %v", rep.Violations)
+	}
+	_ = a
+}
+
+func TestSuggestFixesRepairsP2AndP3(t *testing.T) {
+	// P2: both cells write before reading.
+	b := model.NewBuilder()
+	c1 := b.AddCell("C1")
+	c2 := b.AddCell("C2")
+	a := b.DeclareMessage("A", c1, c2, 1)
+	bb := b.DeclareMessage("B", c2, c1, 1)
+	b.Write(c1, a).Read(c1, bb)
+	b.Write(c2, bb).Read(c2, a)
+	p2 := b.MustBuild()
+
+	fixes := SuggestFixes(p2, 0)
+	if len(fixes) == 0 {
+		t.Fatal("no fix found for P2")
+	}
+	for _, f := range fixes {
+		q, err := SwapAdjacent(p2, f.Cell, f.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !crossoff.Classify(q, crossoff.Options{}) {
+			t.Fatalf("suggested fix %v does not repair P2", f)
+		}
+		if DescribeFix(p2, f) == "" {
+			t.Fatal("empty fix description")
+		}
+	}
+
+	// P3: both cells read before writing; symmetric, also one swap.
+	b = model.NewBuilder()
+	c1 = b.AddCell("C1")
+	c2 = b.AddCell("C2")
+	a = b.DeclareMessage("A", c1, c2, 1)
+	bb = b.DeclareMessage("B", c2, c1, 1)
+	b.Read(c1, bb).Write(c1, a)
+	b.Read(c2, a).Write(c2, bb)
+	p3 := b.MustBuild()
+	if len(SuggestFixes(p3, 0)) == 0 {
+		t.Fatal("no fix found for P3")
+	}
+}
+
+func TestSuggestFixesHonorsLimit(t *testing.T) {
+	b := model.NewBuilder()
+	c1 := b.AddCell("C1")
+	c2 := b.AddCell("C2")
+	a := b.DeclareMessage("A", c1, c2, 1)
+	bb := b.DeclareMessage("B", c2, c1, 1)
+	b.Write(c1, a).Read(c1, bb)
+	b.Write(c2, bb).Read(c2, a)
+	p := b.MustBuild()
+	if got := SuggestFixes(p, 1); len(got) > 1 {
+		t.Fatalf("limit ignored: %d fixes", len(got))
+	}
+}
+
+func TestSuggestFixesEmptyOnDeadlockFree(t *testing.T) {
+	// Fix search only reports swaps that *repair*; a deadlock-free
+	// program trivially reports whatever swaps keep it free — callers
+	// gate on classification first, but the function must not panic.
+	rng := rand.New(rand.NewSource(3))
+	p, err := RandomDeadlockFree(rng, RandomOptions{Cells: 3, Messages: 3, MaxWords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = SuggestFixes(p, 2)
+}
+
+func TestLabelAndCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p, err := RandomDeadlockFree(rng, RandomOptions{Cells: 4, Messages: 6, MaxWords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LabelAndCheck(p, topology.Linear(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Report.MaxGroup < 1 || got.Report.MaxCompeting < got.Report.MaxGroup {
+		t.Fatalf("report %+v", got.Report)
+	}
+}

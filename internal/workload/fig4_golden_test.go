@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"systolic/internal/crossoff"
+)
+
+// TestFig4GoldenSequence pins the complete crossing-off schedule of
+// the Fig 2 program, pair by pair — the full content of the paper's
+// Figure 4. (Within a two-pair step the rendering orders pairs by
+// message id; the paper's figure lists the same two pairs side by
+// side.)
+func TestFig4GoldenSequence(t *testing.T) {
+	p := Fig2().Program
+	rounds, free := crossoff.Schedule(p)
+	if !free {
+		t.Fatal("Fig 2 not deadlock-free")
+	}
+	var got []string
+	for _, r := range rounds {
+		var parts []string
+		for _, pr := range r.Pairs {
+			parts = append(parts, p.Message(pr.Msg).Name)
+		}
+		got = append(got, strings.Join(parts, "+"))
+	}
+	// Figure 4, steps 1–12 (messages whose pair crosses in each step).
+	want := []string{
+		"XA",    // 1: host/C1
+		"XB",    // 2: C1/C2
+		"XA+XC", // 3: two pairs
+		"XB",    // 4
+		"XA+YC", // 5: two pairs
+		"XC",    // 6
+		"YB",    // 7
+		"XB",    // 8
+		"YA+YC", // 9: two pairs
+		"XA",    // 10
+		"YB",    // 11
+		"YA",    // 12
+	}
+	if len(got) != len(want) {
+		t.Fatalf("schedule has %d steps, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d crosses %q, want %q (full schedule %v)", i+1, got[i], want[i], got)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// Fig5P1 returns program P1 of Fig 5, taken verbatim from Fig 10 (the
+// lookahead walkthrough spells out all six steps of each cell):
+//
+//	C1: W(A) W(A) W(B) W(A) W(B) W(A)
+//	C2: R(B) R(A) R(B) R(A) R(A) R(A)
+//
+// P1 is deadlocked under the strict procedure and deadlock-free under
+// lookahead with a skip budget of 2 (queues buffering two words, §8).
+func Fig5P1() *Workload {
+	b := model.NewBuilder()
+	c1 := b.AddCell("C1")
+	c2 := b.AddCell("C2")
+	a := b.DeclareMessage("A", c1, c2, 4)
+	bb := b.DeclareMessage("B", c1, c2, 2)
+	b.Write(c1, a).Write(c1, a).Write(c1, bb).Write(c1, a).Write(c1, bb).Write(c1, a)
+	b.Read(c2, bb).Read(c2, a).Read(c2, bb).Read(c2, a).Read(c2, a).Read(c2, a)
+	return &Workload{
+		Name:            "fig5-p1",
+		Program:         b.MustBuild(),
+		Topology:        topology.Linear(2),
+		DefaultQueues:   2,
+		DefaultCapacity: 2,
+		Notes:           "exact program, transcribed from Fig 10",
+	}
+}
+
+// Fig5P2 returns program P2 of Fig 5 (reconstruction): both cells
+// write their outgoing message before reading the incoming one.
+// Deadlocked with unbuffered latches ("neither C1 nor C2 can finish
+// writing the first word in its output message", §3.2); deadlock-free
+// under lookahead with any buffering (skip budget ≥ 1).
+func Fig5P2() *Workload {
+	b := model.NewBuilder()
+	c1 := b.AddCell("C1")
+	c2 := b.AddCell("C2")
+	a := b.DeclareMessage("A", c1, c2, 1)
+	bb := b.DeclareMessage("B", c2, c1, 1)
+	b.Write(c1, a).Read(c1, bb)
+	b.Write(c2, bb).Read(c2, a)
+	return &Workload{
+		Name:            "fig5-p2",
+		Program:         b.MustBuild(),
+		Topology:        topology.Linear(2),
+		DefaultQueues:   2,
+		DefaultCapacity: 1,
+		Notes: "reconstructed: the figure's OCR is garbled; §3.2 requires both " +
+			"cells blocked on their first writes, fixable by buffering",
+	}
+}
+
+// Fig5P3 returns program P3 of Fig 5 (reconstruction): both cells read
+// before writing, a true circular data dependency. Deadlocked even
+// under lookahead — rule R1 exists precisely so P3 is *not* admitted
+// ("the value associated with the write … may depend on the preceding
+// read", §8.1).
+func Fig5P3() *Workload {
+	b := model.NewBuilder()
+	c1 := b.AddCell("C1")
+	c2 := b.AddCell("C2")
+	a := b.DeclareMessage("A", c1, c2, 1)
+	bb := b.DeclareMessage("B", c2, c1, 1)
+	b.Read(c1, bb).Write(c1, a)
+	b.Read(c2, a).Write(c2, bb)
+	return &Workload{
+		Name:            "fig5-p3",
+		Program:         b.MustBuild(),
+		Topology:        topology.Linear(2),
+		DefaultQueues:   2,
+		DefaultCapacity: 2,
+		Notes: "reconstructed: §8.1 demands a program that skipping reads " +
+			"would wrongly admit; reads-then-writes on both sides is the " +
+			"minimal such program",
+	}
+}
+
+// Fig6 returns the Fig 6 program: messages form a sender/receiver
+// cycle C1→C2→C3→C4→C1, yet the program is deadlock-free — the
+// paper's warning that cycle-checking is not a deadlock test.
+//
+//	C1: W(A) R(D)   C2: R(A) W(B)   C3: R(B) W(C)   C4: R(C) W(D)
+func Fig6() *Workload {
+	b := model.NewBuilder()
+	cs := b.AddCells("C", 4)
+	a := b.DeclareMessage("A", cs[0], cs[1], 1)
+	bb := b.DeclareMessage("B", cs[1], cs[2], 1)
+	c := b.DeclareMessage("C", cs[2], cs[3], 1)
+	d := b.DeclareMessage("D", cs[3], cs[0], 1)
+	b.Write(cs[0], a).Read(cs[0], d)
+	b.Read(cs[1], a).Write(cs[1], bb)
+	b.Read(cs[2], bb).Write(cs[2], c)
+	b.Read(cs[3], c).Write(cs[3], d)
+	return &Workload{
+		Name:            "fig6",
+		Program:         b.MustBuild(),
+		Topology:        topology.Ring(4),
+		DefaultQueues:   1,
+		DefaultCapacity: 1,
+		Notes:           "exact program (the figure lists all eight ops)",
+	}
+}
+
+// Fig7Options sizes the Fig 7 example: LenA words of A (the figure
+// shows four W(A)s) and LenBC words each of B and C (the figure
+// abbreviates them with "…").
+type Fig7Options struct {
+	LenA, LenBC int
+}
+
+// Fig7 returns the first queue-induced-deadlock example (§4): a
+// deadlock-free program on cells C1…C4 where messages B and C both
+// cross the C3–C4 interval and C4 wants all of C before any of B. With
+// one queue per link, granting that queue to B first deadlocks the
+// run; the consistent labels A=1, C=2, B=3 plus compatible assignment
+// force C first.
+//
+//	C1: W(C)…      C2: W(A)×4    C3: R(A)×4 W(B)…   C4: R(C)… R(B)…
+func Fig7(opts Fig7Options) *Workload {
+	if opts.LenA <= 0 {
+		opts.LenA = 4
+	}
+	if opts.LenBC <= 0 {
+		opts.LenBC = 3
+	}
+	b := model.NewBuilder()
+	cs := b.AddCells("C", 4)
+	a := b.DeclareMessage("A", cs[1], cs[2], opts.LenA)
+	bm := b.DeclareMessage("B", cs[2], cs[3], opts.LenBC)
+	cm := b.DeclareMessage("C", cs[0], cs[3], opts.LenBC)
+	b.WriteN(cs[0], cm, opts.LenBC)
+	b.WriteN(cs[1], a, opts.LenA)
+	b.ReadN(cs[2], a, opts.LenA).WriteN(cs[2], bm, opts.LenBC)
+	b.ReadN(cs[3], cm, opts.LenBC).ReadN(cs[3], bm, opts.LenBC)
+	return &Workload{
+		Name:            "fig7",
+		Program:         b.MustBuild(),
+		Topology:        topology.Linear(4),
+		DefaultQueues:   1,
+		DefaultCapacity: 1,
+		Notes: "structure exact per §4's prose (B assigned before C on the " +
+			"C3–C4 queue ⇒ deadlock); the elided sequence lengths default to 3",
+	}
+}
+
+// Fig8 returns the second queue-induced-deadlock example: cell C3
+// reads messages A (from C2) and B (from C1, crossing C2–C3 too) in an
+// interleaved order, so A and B are *related*, share a label, and need
+// separate queues on C2–C3 — one queue deadlocks, two succeed.
+//
+//	C1: W(B)×3   C2: W(A)×4   C3: R(A) R(B) R(A) R(A) R(B) R(B) R(A)
+func Fig8() *Workload {
+	b := model.NewBuilder()
+	cs := b.AddCells("C", 3)
+	a := b.DeclareMessage("A", cs[1], cs[2], 4)
+	bm := b.DeclareMessage("B", cs[0], cs[2], 3)
+	b.WriteN(cs[0], bm, 3)
+	b.WriteN(cs[1], a, 4)
+	b.Read(cs[2], a).Read(cs[2], bm).Read(cs[2], a).Read(cs[2], a)
+	b.Read(cs[2], bm).Read(cs[2], bm).Read(cs[2], a)
+	return &Workload{
+		Name:            "fig8",
+		Program:         b.MustBuild(),
+		Topology:        topology.Linear(3),
+		DefaultQueues:   2,
+		DefaultCapacity: 1,
+		Notes:           "C3's interleaving transcribed from the figure (A B A A B B A)",
+	}
+}
+
+// Fig9 returns the third example, the write-side mirror of Fig 8: cell
+// C1 writes A (to C2) and B (to C3, crossing C1–C2 too) interleaved,
+// so A and B need separate queues on C1–C2.
+//
+//	C1: W(A) W(B) W(A) W(A) W(B) W(B) W(A)   C2: R(A)×4   C3: R(B)×3
+func Fig9() *Workload {
+	b := model.NewBuilder()
+	cs := b.AddCells("C", 3)
+	a := b.DeclareMessage("A", cs[0], cs[1], 4)
+	bm := b.DeclareMessage("B", cs[0], cs[2], 3)
+	b.Write(cs[0], a).Write(cs[0], bm).Write(cs[0], a).Write(cs[0], a)
+	b.Write(cs[0], bm).Write(cs[0], bm).Write(cs[0], a)
+	b.ReadN(cs[1], a, 4)
+	b.ReadN(cs[2], bm, 3)
+	return &Workload{
+		Name:            "fig9",
+		Program:         b.MustBuild(),
+		Topology:        topology.Linear(3),
+		DefaultQueues:   2,
+		DefaultCapacity: 1,
+		Notes:           "C1's interleaving mirrors Fig 8's read order (A B A A B B A)",
+	}
+}
+
+// Fig3 returns an illustrative program in the spirit of Fig 3: four
+// cells, four queues per link, several multi-hop messages whose queue
+// sequences can be rendered. The paper's figure is itself only an
+// illustration; message A's route (C1→C4 over three links) is the one
+// detail §2.3 states, and is preserved.
+func Fig3() *Workload {
+	b := model.NewBuilder()
+	cs := b.AddCells("C", 4)
+	a := b.DeclareMessage("A", cs[0], cs[3], 3)
+	bm := b.DeclareMessage("B", cs[0], cs[2], 2)
+	cm := b.DeclareMessage("C", cs[1], cs[3], 2)
+	d := b.DeclareMessage("D", cs[3], cs[0], 2)
+	b.WriteN(cs[0], a, 3).WriteN(cs[0], bm, 2).ReadN(cs[0], d, 2)
+	b.WriteN(cs[1], cm, 2)
+	b.ReadN(cs[2], bm, 2)
+	b.ReadN(cs[3], a, 3).ReadN(cs[3], cm, 2).WriteN(cs[3], d, 2)
+	return &Workload{
+		Name:            "fig3",
+		Program:         b.MustBuild(),
+		Topology:        topology.Linear(4),
+		DefaultQueues:   4,
+		DefaultCapacity: 2,
+		Notes: "illustrative (the paper's Fig 3 shows no program text); " +
+			"message A crosses C1–C2, C2–C3, C3–C4 as §2.3 describes",
+	}
+}

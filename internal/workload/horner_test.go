@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+
+	"systolic/internal/crossoff"
+)
+
+func TestHornerSweep(t *testing.T) {
+	for _, tc := range []struct{ k, m int }{
+		{1, 1}, {1, 6}, {2, 2}, {3, 4}, {5, 20}, {8, 50},
+	} {
+		w, err := Horner(HornerOptions{Degree: tc.k - 1, Count: tc.m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !crossoff.Classify(w.Program, crossoff.Options{}) {
+			t.Fatalf("horner(k=%d,m=%d) not deadlock-free", tc.k, tc.m)
+		}
+		runPipeline(t, w, w.DefaultQueues, w.DefaultCapacity)
+	}
+}
+
+func TestHornerExplicit(t *testing.T) {
+	// p(x) = 2x² - 3x + 1 at x ∈ {0, 1, 2, -1}.
+	w, err := Horner(HornerOptions{
+		Coefficients: []float64{2, -3, 1},
+		Points:       []float64{0, 1, 2, -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0, 3, 6}
+	for i, v := range want {
+		if got := float64(w.Expected["Y"][i]); got != v {
+			t.Fatalf("p(x_%d) expected %v, got %v", i, v, got)
+		}
+	}
+	runPipeline(t, w, w.DefaultQueues, w.DefaultCapacity)
+}
+
+func TestHornerLongStreamStaysPipelined(t *testing.T) {
+	// The host interleave must keep the program deadlock-free for
+	// streams much longer than the array (the write-all-first variant
+	// is not).
+	w, err := Horner(HornerOptions{Degree: 2, Count: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crossoff.Classify(w.Program, crossoff.Options{}) {
+		t.Fatal("long-stream horner not deadlock-free")
+	}
+	res := runPipeline(t, w, w.DefaultQueues, w.DefaultCapacity)
+	// Throughput: ~O(m) cycles, not O(m·k).
+	if res.Cycles > 100*8 {
+		t.Fatalf("horner makespan %d too slow for 100 points", res.Cycles)
+	}
+}
+
+func TestHornerValidation(t *testing.T) {
+	if _, err := Horner(HornerOptions{Degree: -1}); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+	if _, err := Horner(HornerOptions{Coefficients: []float64{}, Points: []float64{1}}); err == nil {
+		t.Fatal("empty coefficients accepted")
+	}
+}

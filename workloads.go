@@ -1,0 +1,113 @@
+package systolic
+
+import (
+	"systolic/internal/memmodel"
+	"systolic/internal/trace"
+	"systolic/internal/workload"
+)
+
+// Workload bundles a program, topology, word-level semantics and
+// expected outputs (see internal/workload).
+type Workload = workload.Workload
+
+// FIROptions configures the Fig 2 FIR generator.
+type FIROptions = workload.FIROptions
+
+// MatVecOptions configures the matrix–vector generator.
+type MatVecOptions = workload.MatVecOptions
+
+// MatMulOptions configures the 2-D mesh matrix-multiply generator.
+type MatMulOptions = workload.MatMulOptions
+
+// SortOptions configures the odd-even transposition sort generator.
+type SortOptions = workload.SortOptions
+
+// HornerOptions configures the polynomial-evaluation generator.
+type HornerOptions = workload.HornerOptions
+
+// Fig7Options sizes the Fig 7 example.
+type Fig7Options = workload.Fig7Options
+
+// FIR generates the Fig 2 k-tap FIR filter program with semantics.
+func FIR(opts FIROptions) (*Workload, error) { return workload.FIR(opts) }
+
+// MatVec generates y = A·x on a linear array.
+func MatVec(opts MatVecOptions) (*Workload, error) { return workload.MatVec(opts) }
+
+// MatMul generates C = A·B on a 2-D mesh.
+func MatMul(opts MatMulOptions) (*Workload, error) { return workload.MatMul(opts) }
+
+// SortNetwork generates odd-even transposition sort on a linear array.
+func SortNetwork(opts SortOptions) (*Workload, error) { return workload.Sort(opts) }
+
+// HornerEval generates systolic polynomial evaluation by Horner's rule
+// on a linear array.
+func HornerEval(opts HornerOptions) (*Workload, error) { return workload.Horner(opts) }
+
+// The paper's figure programs.
+var (
+	// Fig2Workload is the exact 3-tap / 2-output FIR program of Fig 2.
+	Fig2Workload = workload.Fig2
+	// Fig3Workload illustrates queue-sequence assignment (Fig 3).
+	Fig3Workload = workload.Fig3
+	// Fig5P1Workload…Fig5P3Workload are the deadlocked programs of Fig 5.
+	Fig5P1Workload = workload.Fig5P1
+	Fig5P2Workload = workload.Fig5P2
+	Fig5P3Workload = workload.Fig5P3
+	// Fig6Workload is the cyclic-yet-deadlock-free program of Fig 6.
+	Fig6Workload = workload.Fig6
+	// Fig8Workload and Fig9Workload are the interleaved-read/-write
+	// queue-induced deadlock examples.
+	Fig8Workload = workload.Fig8
+	Fig9Workload = workload.Fig9
+)
+
+// Fig7Workload is the first queue-induced deadlock example (§4).
+func Fig7Workload(opts Fig7Options) *Workload { return workload.Fig7(opts) }
+
+// Memory-to-memory comparison (Fig 1).
+type (
+	// MemModelParams describes one pipeline configuration for the
+	// Fig 1 comparison.
+	MemModelParams = memmodel.Params
+	// MemModelRow is one comparison line.
+	MemModelRow = memmodel.Row
+)
+
+// MemModelTable evaluates Fig 1's systolic vs memory-to-memory
+// comparison over a parameter sweep.
+func MemModelTable(params []MemModelParams) ([]MemModelRow, error) { return memmodel.Table(params) }
+
+// MemModelDefaultSweep is the grid the Fig 1 experiment reports.
+func MemModelDefaultSweep() []MemModelParams { return memmodel.DefaultSweep() }
+
+// Rendering helpers (text diagrams in the style of the figures).
+
+// RenderProgram renders a program one column per cell (Fig 2 style).
+func RenderProgram(p *Program) string { return trace.ProgramTable(p) }
+
+// RenderSchedule renders crossing-off rounds (Fig 4 style).
+func RenderSchedule(p *Program, rounds []CrossoffRound) string {
+	return trace.ScheduleTable(p, rounds)
+}
+
+// RenderLabels renders a labeling sorted by label.
+func RenderLabels(p *Program, l Labeling) string { return trace.Labels(p, l) }
+
+// RenderTimeline renders queue bind/release events (Fig 7 style).
+func RenderTimeline(p *Program, t Topology, res *RunResult) string {
+	return trace.Timeline(p, t, res.Timeline)
+}
+
+// RenderQueueSequences renders each message's route (Fig 3 style).
+func RenderQueueSequences(p *Program, t Topology) (string, error) {
+	return trace.QueueSequences(p, t)
+}
+
+// RenderRun summarizes a simulation outcome.
+func RenderRun(p *Program, res *RunResult) string { return trace.RunSummary(p, res) }
+
+// RenderQueueStats renders per-queue lifetime counters of a run.
+func RenderQueueStats(p *Program, t Topology, res *RunResult) string {
+	return trace.QueueStatsTable(p, t, res.Stats.Queues)
+}
