@@ -10,8 +10,10 @@
 package systolic_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"systolic"
@@ -255,6 +257,57 @@ func BenchmarkTheorem1_Pipeline(b *testing.B) {
 		if !res.Completed {
 			b.Fatalf("Theorem 1 violated: %s", res.Outcome())
 		}
+	}
+}
+
+// BenchmarkSweep measures the concurrent parameter-sweep engine over a
+// 144-point grid (Figs 7 and 8 × 3 policies × 4 queue budgets × 3
+// capacities × 2 lookaheads), single-worker vs all cores. Run with
+// -benchmem: the grid re-runs the same analyzed configurations over
+// and over, which is exactly the repeated-Run pattern the sim hot path
+// was refactored for (pooled runner scratch, precomputed routes).
+//
+// Hot-path allocation counts before/after that refactor, measured with
+// `go test -bench 'SimThroughput|Fig07' -benchmem -benchtime 200x`:
+//
+//	BenchmarkFig07_Avoidance/naive-fcfs     82 → 31 allocs/op  (10073 → 7035 B/op)
+//	BenchmarkFig07_Avoidance/compatible     91 → 39 allocs/op  ( 4928 → 1864 B/op)
+//	BenchmarkSimThroughput/k=3,n=64        155 → 74 allocs/op  (14544 → 10127 B/op)
+//	BenchmarkSimThroughput/k=8,n=256       413 → 217 allocs/op (109168 → 98355 B/op)
+//	BenchmarkSimThroughput/k=16,n=1024     876 → 502 allocs/op (838841 → 815481 B/op)
+//
+// with identical simulated cycle counts throughout (the refactor is
+// behavior-preserving; the remaining bytes are dominated by the
+// received-words output, which necessarily escapes into each Result).
+func BenchmarkSweep(b *testing.B) {
+	f7 := systolic.Fig7Workload(systolic.Fig7Options{})
+	f8 := systolic.Fig8Workload()
+	cases := []systolic.SweepCase{
+		{Name: "fig7", Program: f7.Program, Topology: f7.Topology},
+		{Name: "fig8", Program: f8.Program, Topology: f8.Topology},
+	}
+	axes := systolic.SweepAxes{
+		Policies:   []systolic.PolicyKind{systolic.NaiveFCFS, systolic.StaticAssignment, systolic.DynamicCompatible},
+		Queues:     []int{0, 1, 2, 3},
+		Capacities: []int{1, 2, 4},
+		Lookaheads: []int{0, 2},
+		Seed:       1,
+	}
+	grid := axes.Size(len(cases))
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var deadlocks int
+			for b.Loop() {
+				rep, err := systolic.Sweep(context.Background(), cases, axes,
+					systolic.SweepOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				deadlocks = len(rep.Deadlocked())
+			}
+			b.ReportMetric(float64(grid), "grid-points")
+			b.ReportMetric(float64(deadlocks), "deadlocks")
+		})
 	}
 }
 

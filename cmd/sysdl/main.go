@@ -6,10 +6,14 @@
 //	sysdl plan   prog.sys            # queue requirements (Theorem 1)
 //	sysdl run    prog.sys [flags]    # simulate
 //	sysdl render prog.sys            # program table + routes
+//	sysdl sweep  prog.sys [flags]    # run a grid of configurations
 //
 // FILE may be '-' for stdin. Flags for run: -queues N -capacity N
 // -policy compatible|static|fcfs|lifo|random|adversarial -seed N
-// -lookahead -timeline -force.
+// -lookahead -timeline -force. Flags for sweep: -sweep-policies,
+// -sweep-queues, -sweep-capacities, -sweep-lookaheads (comma-separated
+// axis values) and -workers N; the report marks which configurations
+// deadlock and which Theorem 1 budgets avoid it.
 package main
 
 import (
@@ -54,6 +58,6 @@ func readSource(path string) (string, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sysdl check|label|plan|run|render FILE [flags]  (FILE '-' = stdin)")
+	fmt.Fprintln(os.Stderr, "usage: sysdl check|label|plan|run|render|sweep FILE [flags]  (FILE '-' = stdin)")
 	os.Exit(2)
 }

@@ -1,0 +1,3 @@
+module systolic
+
+go 1.24

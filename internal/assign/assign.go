@@ -132,8 +132,15 @@ type static struct {
 func (s *static) Name() string { return "static" }
 
 func (s *static) Setup(ctx *Context) error {
-	for link, msgs := range ctx.Competing {
-		if len(msgs) > ctx.QueuesPerLink {
+	// Validate in sorted link order so the reported link is
+	// deterministic (map iteration order is not).
+	links := make([]topology.LinkID, 0, len(ctx.Competing))
+	for link := range ctx.Competing {
+		links = append(links, link)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, link := range links {
+		if msgs := ctx.Competing[link]; len(msgs) > ctx.QueuesPerLink {
 			return fmt.Errorf("assign: static policy: link %d has %d competing messages but %d queues",
 				link, len(msgs), ctx.QueuesPerLink)
 		}

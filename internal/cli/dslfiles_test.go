@@ -11,7 +11,10 @@ import (
 // must parse, and behave as its header comment promises.
 func TestShippedDSLFiles(t *testing.T) {
 	dir := filepath.Join("..", "..", "examples", "dsl")
-	read := func(name string) string {
+	// read takes the subtest's own *testing.T: calling t.Fatal on the
+	// parent from inside a subtest panics with "subtest may have called
+	// FailNow on a parent test" instead of failing cleanly.
+	read := func(t *testing.T, name string) string {
 		t.Helper()
 		b, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
@@ -23,7 +26,7 @@ func TestShippedDSLFiles(t *testing.T) {
 	t.Run("fig6-completes", func(t *testing.T) {
 		var b strings.Builder
 		opts := DefaultSysdlOptions()
-		code, err := Sysdl(&b, "run", read("fig6.sys"), opts)
+		code, err := Sysdl(&b, "run", read(t, "fig6.sys"), opts)
 		if err != nil || code != 0 {
 			t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
 		}
@@ -35,7 +38,7 @@ func TestShippedDSLFiles(t *testing.T) {
 		opts.Policy = "fcfs"
 		opts.Queues = 1
 		opts.Force = true
-		code, err := Sysdl(&b, "run", read("fig7.sys"), opts)
+		code, err := Sysdl(&b, "run", read(t, "fig7.sys"), opts)
 		if err != nil || code != 1 {
 			t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
 		}
@@ -48,7 +51,7 @@ func TestShippedDSLFiles(t *testing.T) {
 		var b strings.Builder
 		opts := DefaultSysdlOptions()
 		opts.Queues = 1
-		code, err := Sysdl(&b, "run", read("fig7.sys"), opts)
+		code, err := Sysdl(&b, "run", read(t, "fig7.sys"), opts)
 		if err != nil || code != 0 {
 			t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
 		}
@@ -56,7 +59,7 @@ func TestShippedDSLFiles(t *testing.T) {
 
 	t.Run("p1-check-and-lookahead-run", func(t *testing.T) {
 		var b strings.Builder
-		code, err := Sysdl(&b, "check", read("p1.sys"), DefaultSysdlOptions())
+		code, err := Sysdl(&b, "check", read(t, "p1.sys"), DefaultSysdlOptions())
 		if err != nil || code != 1 {
 			t.Fatalf("check: code=%d err=%v", code, err)
 		}
@@ -68,7 +71,7 @@ func TestShippedDSLFiles(t *testing.T) {
 		opts.Capacity = 2
 		opts.Queues = 2
 		b.Reset()
-		code, err = Sysdl(&b, "run", read("p1.sys"), opts)
+		code, err = Sysdl(&b, "run", read(t, "p1.sys"), opts)
 		if err != nil || code != 0 {
 			t.Fatalf("run: code=%d err=%v\n%s", code, err, b.String())
 		}
@@ -76,7 +79,7 @@ func TestShippedDSLFiles(t *testing.T) {
 
 	t.Run("pipeline-plan", func(t *testing.T) {
 		var b strings.Builder
-		code, err := Sysdl(&b, "plan", read("pipeline.sys"), DefaultSysdlOptions())
+		code, err := Sysdl(&b, "plan", read(t, "pipeline.sys"), DefaultSysdlOptions())
 		if err != nil || code != 0 {
 			t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
 		}

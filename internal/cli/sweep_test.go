@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSysdlSweep runs the sweep verb over the shipped Fig 7 file: the
+// table must show FCFS deadlocking somewhere and the compatible policy
+// completing every swept configuration at some budget.
+func TestSysdlSweep(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "dsl", "fig7.sys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	code, err := Sysdl(&b, "sweep", string(src), DefaultSysdlOptions())
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sweeping 48 configurations",
+		"deadlocked",
+		"dynamic-compatible completes every swept configuration",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSysdlSweepFlags checks custom axes and the flag error paths.
+func TestSysdlSweepFlags(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "dsl", "fig6.sys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultSysdlOptions()
+	opts.SweepPolicies = "fcfs,compatible"
+	opts.SweepQueues = "1,2"
+	opts.SweepCapacities = "1"
+	opts.SweepLookaheads = "0"
+	opts.Workers = 2
+	var b strings.Builder
+	code, err := Sysdl(&b, "sweep", string(src), opts)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
+	}
+	if !strings.Contains(b.String(), "sweeping 4 configurations") {
+		t.Fatalf("custom grid not honored:\n%s", b.String())
+	}
+
+	opts.SweepQueues = "one"
+	if code, err := Sysdl(&b, "sweep", string(src), opts); err == nil || code != 2 {
+		t.Fatal("bad -sweep-queues accepted")
+	}
+	opts.SweepQueues = "1"
+	opts.SweepPolicies = "bogus"
+	if code, err := Sysdl(&b, "sweep", string(src), opts); err == nil || code != 2 {
+		t.Fatal("bad -sweep-policies accepted")
+	}
+}

@@ -1,9 +1,12 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"systolic"
 )
@@ -18,6 +21,14 @@ type SysdlOptions struct {
 	Timeline  bool
 	Stats     bool
 	Force     bool
+
+	// sweep-verb flags: comma-separated axis values ("" = defaults)
+	// and the worker-pool bound (0 = GOMAXPROCS).
+	SweepPolicies   string
+	SweepQueues     string
+	SweepCapacities string
+	SweepLookaheads string
+	Workers         int
 }
 
 // DefaultSysdlOptions returns the tool's flag defaults.
@@ -35,6 +46,11 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Timeline, "timeline", o.Timeline, "print queue bind/release timeline")
 	fs.BoolVar(&o.Stats, "stats", o.Stats, "print per-queue statistics")
 	fs.BoolVar(&o.Force, "force", o.Force, "run even when Theorem 1's queue requirement is unmet")
+	fs.StringVar(&o.SweepPolicies, "sweep-policies", o.SweepPolicies, "sweep: comma-separated policies (default fcfs,static,compatible)")
+	fs.StringVar(&o.SweepQueues, "sweep-queues", o.SweepQueues, "sweep: comma-separated queue budgets, 0 = auto (default 0,1,2,3)")
+	fs.StringVar(&o.SweepCapacities, "sweep-capacities", o.SweepCapacities, "sweep: comma-separated capacities (default 1,2)")
+	fs.StringVar(&o.SweepLookaheads, "sweep-lookaheads", o.SweepLookaheads, "sweep: comma-separated lookahead budgets, 0 = strict (default 0,2)")
+	fs.IntVar(&o.Workers, "workers", o.Workers, "sweep: worker-pool size (0 = GOMAXPROCS)")
 }
 
 // Sysdl executes one sysdl subcommand over DSL source text, writing
@@ -116,8 +132,63 @@ func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
 		fmt.Fprintln(w, "\nroutes:")
 		fmt.Fprint(w, s)
 		return 0, nil
+	case "sweep":
+		axes, err := sweepAxes(opts)
+		if err != nil {
+			return 2, err
+		}
+		cases := []systolic.SweepCase{{Name: "program", Program: p, Topology: topo}}
+		rep, err := systolic.Sweep(context.Background(), cases, axes,
+			systolic.SweepOptions{Workers: opts.Workers})
+		if err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(w, "sweeping %d configurations\n\n", len(rep.Outcomes))
+		fmt.Fprint(w, rep.Table())
+		return 0, nil
 	}
 	return 2, fmt.Errorf("cli: unknown subcommand %q", cmd)
+}
+
+// sweepAxes builds the sweep grid from the comma-separated flag
+// values; empty flags keep the engine defaults.
+func sweepAxes(opts SysdlOptions) (systolic.SweepAxes, error) {
+	axes := systolic.SweepAxes{Seed: opts.Seed}
+	if opts.SweepPolicies != "" {
+		for _, name := range strings.Split(opts.SweepPolicies, ",") {
+			kind, err := ParsePolicy(strings.TrimSpace(name))
+			if err != nil {
+				return axes, err
+			}
+			axes.Policies = append(axes.Policies, kind)
+		}
+	}
+	var err error
+	if axes.Queues, err = parseIntList(opts.SweepQueues, "sweep-queues"); err != nil {
+		return axes, err
+	}
+	if axes.Capacities, err = parseIntList(opts.SweepCapacities, "sweep-capacities"); err != nil {
+		return axes, err
+	}
+	if axes.Lookaheads, err = parseIntList(opts.SweepLookaheads, "sweep-lookaheads"); err != nil {
+		return axes, err
+	}
+	return axes, nil
+}
+
+func parseIntList(s, flagName string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad -%s value %q", flagName, f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func sysdlAnalyze(w io.Writer, p *systolic.Program, topo systolic.Topology, opts SysdlOptions) (*systolic.Analysis, int, error) {

@@ -193,6 +193,30 @@ type ExecOptions struct {
 	Force bool
 }
 
+// MinQueues returns Theorem 1's queues-per-link requirement for a
+// policy: the largest competing set for static assignment, the largest
+// equal-label group otherwise.
+func (a *Analysis) MinQueues(policy PolicyKind) int {
+	if policy == StaticAssignment {
+		return a.MinQueuesStatic
+	}
+	return a.MinQueuesDynamic
+}
+
+// ResolveQueues resolves a requested queues-per-link budget: 0 means
+// the analysis' minimum for the policy, floored at one physical queue.
+// Execute and the sweep engine share this so reports always name the
+// budget that actually ran.
+func (a *Analysis) ResolveQueues(policy PolicyKind, requested int) int {
+	if requested != 0 {
+		return requested
+	}
+	if q := a.MinQueues(policy); q > 0 {
+		return q
+	}
+	return 1
+}
+
 // Execute runs an analyzed program under the chosen policy. For the
 // compatible and static policies it verifies Theorem 1's assumption
 // (ii) first (unless Force) so that a refusal is a clear report rather
@@ -202,17 +226,7 @@ func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
 		return nil, fmt.Errorf("core: program is not deadlock-free: %s",
 			crossoff.DescribeBlocked(a.Program, a.Blocked))
 	}
-	queues := opts.QueuesPerLink
-	if queues == 0 {
-		if opts.Policy == StaticAssignment {
-			queues = a.MinQueuesStatic
-		} else {
-			queues = a.MinQueuesDynamic
-		}
-		if queues == 0 {
-			queues = 1
-		}
-	}
+	queues := a.ResolveQueues(opts.Policy, opts.QueuesPerLink)
 	capacity := opts.Capacity
 	if capacity == 0 {
 		capacity = 1
@@ -235,6 +249,7 @@ func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
 	}
 	return sim.Run(a.Program, sim.Config{
 		Topology:         a.Topology,
+		Routes:           a.Routes,
 		QueuesPerLink:    queues,
 		Capacity:         capacity,
 		ExtCapacity:      opts.ExtCapacity,

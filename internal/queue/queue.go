@@ -45,6 +45,15 @@ type Queue struct {
 // occupancy exceeds the base capacity). Negative arguments are treated
 // as zero.
 func New(capacity, ext, extPenalty int) *Queue {
+	q := &Queue{}
+	q.Init(capacity, ext, extPenalty)
+	return q
+}
+
+// Init (re)initializes a queue in place to the pristine state New would
+// produce, keeping the buffer's backing array so pooled simulator state
+// can be reused across runs without reallocating.
+func (q *Queue) Init(capacity, ext, extPenalty int) {
 	if capacity < 0 {
 		capacity = 0
 	}
@@ -54,7 +63,12 @@ func New(capacity, ext, extPenalty int) *Queue {
 	if extPenalty < 0 {
 		extPenalty = 0
 	}
-	return &Queue{capacity: capacity, ext: ext, extPenalty: extPenalty}
+	q.capacity = capacity
+	q.ext = ext
+	q.extPenalty = extPenalty
+	q.buf = q.buf[:0]
+	q.cooldown = 0
+	q.stats = Stats{}
 }
 
 // Capacity returns the base capacity.

@@ -13,8 +13,8 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
 
 	"systolic/internal/assign"
 	"systolic/internal/model"
@@ -73,6 +73,12 @@ type Config struct {
 	// direction of the queue can be reset"). With directional pools a
 	// link effectively offers QueuesPerLink queues per direction.
 	DirectionalPools bool
+	// Routes, when non-nil, supplies precomputed routes (indexed by
+	// message id, as returned by topology.Routes for this program and
+	// topology). Callers that run the same analyzed configuration many
+	// times — core.Execute, the sweep engine — pass the analysis'
+	// routes so each Run skips recomputing them. Must match Topology.
+	Routes [][]topology.Hop
 	// Policy decides queue bindings. Required.
 	Policy assign.Policy
 	// Labels (dense, per message) are passed to the policy; required
@@ -91,9 +97,12 @@ type Config struct {
 // BindEvent is one timeline entry: a queue bound to or released from a
 // message.
 type BindEvent struct {
-	Cycle    int
-	Link     topology.LinkID
-	QueueIdx int // index of the queue within its link's pool
+	Cycle int
+	Link  topology.LinkID
+	// QueueIdx indexes the queue within its link: 0..Q-1 for the
+	// shared pool, 0..2Q-1 under DirectionalPools (forward pool
+	// first, then reverse), so (Link, QueueIdx) is always unique.
+	QueueIdx int
 	Msg      model.MessageID
 	Bound    bool // true = bound, false = released
 }
@@ -157,7 +166,7 @@ func (r *Result) Outcome() string {
 type queueInst struct {
 	link topology.LinkID // real link, for reporting
 	idx  int
-	q    *queue.Queue
+	q    queue.Queue
 
 	bound bool
 	msg   model.MessageID
@@ -181,6 +190,10 @@ type msgState struct {
 	read      int   // words consumed by the receiver
 }
 
+// runner holds all mutable simulation state. Everything below the
+// "reusable scratch" marker survives between runs inside runnerPool so
+// repeated Run calls (parameter sweeps) stop re-allocating; anything
+// that escapes into the returned Result is allocated fresh per run.
 type runner struct {
 	p      *model.Program
 	cfg    Config
@@ -188,14 +201,18 @@ type runner struct {
 	routes [][]topology.Hop
 	links  []topology.Link
 
-	pools    map[poolID][]*queueInst
-	poolIDs  []poolID
-	pending  map[poolID][]model.MessageID
-	hopOf    map[poolMsg]int
+	// Reusable scratch, sized in setup and pooled across runs.
+	numPools int
+	queues   []queueInst         // pool p occupies [p*Q : (p+1)*Q]
+	pending  [][]model.MessageID // per pool, outstanding requests
 	msgs     []msgState
+	hopQ     []*queueInst // flat backing for msgState.queues
+	hopFlags []bool       // flat backing for granted + requested
+	hopInts  []int        // flat backing for departed
 	pc       []int
 	issued   []bool
-	received [][]Word
+
+	received [][]Word // escapes into Result; fresh per run
 
 	res   Result
 	stats Stats
@@ -203,9 +220,24 @@ type runner struct {
 	moved bool // any event this cycle
 }
 
-type poolMsg struct {
-	pool poolID
-	msg  model.MessageID
+// runnerPool recycles runner scratch state between runs. Run copies the
+// Result out and clears every escaping reference before returning a
+// runner to the pool.
+var runnerPool = sync.Pool{New: func() any { return new(runner) }}
+
+// grow returns s resized to n, reusing its backing array when large
+// enough. Contents are unspecified; callers clear what they need.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// pool returns the queue instances of pool p.
+func (r *runner) pool(p poolID) []queueInst {
+	q := r.cfg.QueuesPerLink
+	return r.queues[int(p)*q : (int(p)+1)*q]
 }
 
 // poolOf maps a route hop to the pool that serves it.
@@ -236,9 +268,15 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 	if cfg.Capacity < 0 || cfg.ExtCapacity < 0 || cfg.ExtPenalty < 0 {
 		return nil, fmt.Errorf("sim: negative capacity or penalty")
 	}
-	routes, err := topology.Routes(p, cfg.Topology)
-	if err != nil {
-		return nil, err
+	routes := cfg.Routes
+	if routes == nil {
+		var err error
+		routes, err = topology.Routes(p, cfg.Topology)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(routes) != p.NumMessages() {
+		return nil, fmt.Errorf("sim: Config.Routes has %d entries for %d messages", len(routes), p.NumMessages())
 	}
 	if cfg.Capacity == 0 {
 		for id, rt := range routes {
@@ -257,7 +295,8 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 		logic = SyntheticLogic{}
 	}
 
-	r := &runner{p: p, cfg: cfg, logic: logic, routes: routes, links: cfg.Topology.Links()}
+	r := runnerPool.Get().(*runner)
+	r.p, r.cfg, r.logic, r.routes, r.links = p, cfg, logic, routes, cfg.Topology.Links()
 	r.setup()
 
 	// Competing sets are keyed by pool: the whole link under the
@@ -277,6 +316,7 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 		QueuesPerLink: cfg.QueuesPerLink,
 	}
 	if err := cfg.Policy.Setup(ctx); err != nil {
+		r.release()
 		return nil, err
 	}
 
@@ -308,13 +348,34 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 	r.res.Cycles = r.now
 	r.res.Received = r.received
 	r.stats.Cycles = r.now
-	for _, link := range r.poolIDs {
-		for _, qi := range r.pools[link] {
-			r.stats.Queues = append(r.stats.Queues, QueueStat{Link: link, QueueIdx: qi.idx, Stats: qi.q.Stats()})
-		}
+	r.stats.Queues = make([]QueueStat, 0, len(r.queues))
+	for i := range r.queues {
+		qi := &r.queues[i]
+		// qi.link is the real link, not the pool id: under
+		// DirectionalPools a link's two pools report under the same
+		// physical link, matching the timeline's attribution.
+		r.stats.Queues = append(r.stats.Queues, QueueStat{Link: qi.link, QueueIdx: qi.idx, Stats: qi.q.Stats()})
 	}
 	r.res.Stats = r.stats
-	return &r.res, nil
+	out := new(Result)
+	*out = r.res
+	r.release()
+	return out, nil
+}
+
+// release clears every reference that escaped into the returned Result
+// (and the per-run inputs) and returns the runner's scratch to the
+// pool for the next Run.
+func (r *runner) release() {
+	r.p, r.logic, r.routes, r.links = nil, nil, nil, nil
+	r.cfg = Config{}
+	r.received = nil
+	r.res = Result{}
+	r.stats = Stats{}
+	for i := range r.msgs {
+		r.msgs[i].route = nil
+	}
+	runnerPool.Put(r)
 }
 
 func defaultMaxCycles(p *model.Program, routes [][]topology.Hop) int {
@@ -330,44 +391,71 @@ func defaultMaxCycles(p *model.Program, routes [][]topology.Hop) int {
 	return n
 }
 
+// setup sizes the runner's scratch for the current program and
+// configuration, reusing pooled backing arrays where they are large
+// enough. Link and pool ids are dense, so pools live in one flat slice
+// (pool p at [p*Q:(p+1)*Q]) in ascending pool-id order, and each
+// message's per-hop state is a window into shared flat arrays.
 func (r *runner) setup() {
 	p, cfg := r.p, r.cfg
-	r.pools = make(map[poolID][]*queueInst)
-	newPool := func(key poolID, realLink topology.LinkID) {
-		pool := make([]*queueInst, cfg.QueuesPerLink)
-		for i := range pool {
-			pool[i] = &queueInst{link: realLink, idx: i, q: queue.New(cfg.Capacity, cfg.ExtCapacity, cfg.ExtPenalty)}
-		}
-		r.pools[key] = pool
-		r.poolIDs = append(r.poolIDs, key)
+	r.numPools = len(r.links)
+	if cfg.DirectionalPools {
+		r.numPools *= 2
 	}
-	for _, l := range r.links {
+	r.queues = grow(r.queues, r.numPools*cfg.QueuesPerLink)
+	for i := range r.queues {
+		qi := &r.queues[i]
+		pool := i / cfg.QueuesPerLink
+		realLink := topology.LinkID(pool)
 		if cfg.DirectionalPools {
-			newPool(2*l.ID, l.ID)
-			newPool(2*l.ID+1, l.ID)
-		} else {
-			newPool(l.ID, l.ID)
+			realLink = topology.LinkID(pool / 2)
 		}
+		qi.link = realLink
+		// idx identifies the queue within its *link* for reporting:
+		// with directional pools the link's two pools are contiguous
+		// (forward 0..Q-1, reverse Q..2Q-1), keeping (link, idx)
+		// unique in timelines and stats.
+		qi.idx = i % cfg.QueuesPerLink
+		if cfg.DirectionalPools {
+			qi.idx = i % (2 * cfg.QueuesPerLink)
+		}
+		qi.bound = false
+		qi.msg = 0
+		qi.hop = 0
+		qi.q.Init(cfg.Capacity, cfg.ExtCapacity, cfg.ExtPenalty)
 	}
-	sort.Slice(r.poolIDs, func(i, j int) bool { return r.poolIDs[i] < r.poolIDs[j] })
-	r.pending = make(map[poolID][]model.MessageID)
-	r.hopOf = make(map[poolMsg]int)
-	r.msgs = make([]msgState, p.NumMessages())
+	r.pending = grow(r.pending, r.numPools)
+	for i := range r.pending {
+		r.pending[i] = r.pending[i][:0]
+	}
+	totalHops := 0
+	for _, rt := range r.routes {
+		totalHops += len(rt)
+	}
+	r.hopQ = grow(r.hopQ, totalHops)
+	r.hopFlags = grow(r.hopFlags, 2*totalHops)
+	r.hopInts = grow(r.hopInts, totalHops)
+	clear(r.hopQ)
+	clear(r.hopFlags)
+	clear(r.hopInts)
+	r.msgs = grow(r.msgs, p.NumMessages())
+	off := 0
 	for id := range r.msgs {
 		rt := r.routes[id]
+		n := len(rt)
 		r.msgs[id] = msgState{
 			route:     rt,
-			queues:    make([]*queueInst, len(rt)),
-			granted:   make([]bool, len(rt)),
-			requested: make([]bool, len(rt)),
-			departed:  make([]int, len(rt)),
+			queues:    r.hopQ[off : off+n : off+n],
+			granted:   r.hopFlags[off : off+n : off+n],
+			requested: r.hopFlags[totalHops+off : totalHops+off+n : totalHops+off+n],
+			departed:  r.hopInts[off : off+n : off+n],
 		}
-		for hop, h := range rt {
-			r.hopOf[poolMsg{r.poolOf(h), model.MessageID(id)}] = hop
-		}
+		off += n
 	}
-	r.pc = make([]int, p.NumCells())
-	r.issued = make([]bool, p.NumCells())
+	r.pc = grow(r.pc, p.NumCells())
+	r.issued = grow(r.issued, p.NumCells())
+	clear(r.pc)
+	clear(r.issued)
 	r.received = make([][]Word, p.NumMessages())
 	r.stats.BlockedCycles = make([]int, p.NumCells())
 }
@@ -384,21 +472,17 @@ func (r *runner) done() bool {
 // anyCooling reports whether some queue is waiting out an
 // extension-access penalty; such cycles are latency, not deadlock.
 func (r *runner) anyCooling() bool {
-	for _, link := range r.poolIDs {
-		for _, qi := range r.pools[link] {
-			if qi.q.Cooling() {
-				return true
-			}
+	for i := range r.queues {
+		if r.queues[i].q.Cooling() {
+			return true
 		}
 	}
 	return false
 }
 
 func (r *runner) tickQueues() {
-	for _, link := range r.poolIDs {
-		for _, qi := range r.pools[link] {
-			qi.q.Tick()
-		}
+	for i := range r.queues {
+		r.queues[i].q.Tick()
 	}
 }
 
@@ -419,7 +503,8 @@ func (r *runner) collectRequests() {
 		ms := &r.msgs[op.Msg]
 		if len(ms.route) > 0 && !ms.requested[0] {
 			ms.requested[0] = true
-			r.pending[r.poolOf(ms.route[0])] = append(r.pending[r.poolOf(ms.route[0])], op.Msg)
+			pool := r.poolOf(ms.route[0])
+			r.pending[pool] = append(r.pending[pool], op.Msg)
 		}
 	}
 	for id := range r.msgs {
@@ -430,17 +515,32 @@ func (r *runner) collectRequests() {
 			}
 			if ms.queues[hop-1].q.Len() > 0 {
 				ms.requested[hop] = true
-				r.pending[r.poolOf(ms.route[hop])] = append(r.pending[r.poolOf(ms.route[hop])], model.MessageID(id))
+				pool := r.poolOf(ms.route[hop])
+				r.pending[pool] = append(r.pending[pool], model.MessageID(id))
 			}
 		}
 	}
 }
 
+// hopOn returns the route hop of msg served by pool link, or -1. A
+// shortest-path route crosses each link (and so each pool) at most
+// once, and routes are short, so a linear scan beats the per-run map
+// the runner used to build.
+func (r *runner) hopOn(link poolID, msg model.MessageID) int {
+	for hop, h := range r.msgs[msg].route {
+		if r.poolOf(h) == link {
+			return hop
+		}
+	}
+	return -1
+}
+
 func (r *runner) grantPhase() {
-	for _, link := range r.poolIDs {
+	for link := poolID(0); int(link) < r.numPools; link++ {
+		pool := r.pool(link)
 		free := 0
-		for _, qi := range r.pools[link] {
-			if !qi.bound {
+		for i := range pool {
+			if !pool[i].bound {
 				free++
 			}
 		}
@@ -449,14 +549,14 @@ func (r *runner) grantPhase() {
 			if free == 0 {
 				break // policy over-granted; ignore the excess
 			}
-			hop, ok := r.hopOf[poolMsg{link, msg}]
-			if !ok || r.msgs[msg].granted[hop] {
+			hop := r.hopOn(link, msg)
+			if hop < 0 || r.msgs[msg].granted[hop] {
 				continue
 			}
 			var qi *queueInst
-			for _, cand := range r.pools[link] {
-				if !cand.bound {
-					qi = cand
+			for i := range pool {
+				if !pool[i].bound {
+					qi = &pool[i]
 					break
 				}
 			}
@@ -471,13 +571,16 @@ func (r *runner) grantPhase() {
 			r.stats.Grants++
 			r.removePending(link, msg)
 			if r.cfg.RecordTimeline {
-				r.res.Timeline = append(r.res.Timeline, BindEvent{Cycle: r.now, Link: link, QueueIdx: qi.idx, Msg: msg, Bound: true})
+				// Record the real link (qi.link), not the pool id:
+				// under DirectionalPools pool ids are synthetic and
+				// release events already use the real link.
+				r.res.Timeline = append(r.res.Timeline, BindEvent{Cycle: r.now, Link: qi.link, QueueIdx: qi.idx, Msg: msg, Bound: true})
 			}
 		}
 	}
 }
 
-func (r *runner) removePending(link topology.LinkID, msg model.MessageID) {
+func (r *runner) removePending(link poolID, msg model.MessageID) {
 	lst := r.pending[link]
 	for i, m := range lst {
 		if m == msg {

@@ -1,0 +1,443 @@
+// Package sweep is the batch engine over the Analyze/Execute pipeline:
+// it fans a grid of configurations — cases (program × topology),
+// assignment policy, queues per link, queue capacity, lookahead budget
+// — across a bounded worker pool and collects every run's outcome into
+// a deterministic, order-stable report.
+//
+// The paper proves a point configuration safe (Theorem 1); the sweep
+// engine is how that point is found: run the whole neighbourhood, see
+// which configurations deadlock at run time, and read off the budgets
+// that avoid it. Reports are byte-identical regardless of worker
+// count: the grid is enumerated in a fixed order, every outcome is
+// written to its own slot, and all randomness is seeded per
+// configuration.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"systolic/internal/core"
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// Case is one named (program, topology) pair under sweep.
+type Case struct {
+	Name     string
+	Program  *model.Program
+	Topology topology.Topology
+}
+
+// Axes spans the configuration grid: the cartesian product of every
+// axis is run for every case. Empty axes take the defaults of
+// DefaultAxes.
+type Axes struct {
+	// Policies are the assignment disciplines to contrast (e.g. the
+	// paper's compatible policy against the naive FCFS baseline).
+	Policies []core.PolicyKind
+	// Queues are queues-per-link budgets; 0 means "the analysis'
+	// minimum for the policy" (Theorem 1's assumption (ii) met
+	// exactly).
+	Queues []int
+	// Capacities are per-queue word capacities (≥ 1).
+	Capacities []int
+	// Lookaheads are §8 skip budgets; 0 means the strict §3 procedure,
+	// n > 0 classifies and labels with a uniform budget of n skipped
+	// writes per message per located pair.
+	Lookaheads []int
+	// Seed feeds randomized policies; one seed keeps the whole grid
+	// deterministic.
+	Seed int64
+}
+
+// DefaultAxes contrasts the naive FCFS baseline with the paper's two
+// compatible policies over small queue and capacity budgets, strict
+// and lookahead-2.
+func DefaultAxes() Axes {
+	return Axes{
+		Policies:   []core.PolicyKind{core.NaiveFCFS, core.StaticAssignment, core.DynamicCompatible},
+		Queues:     []int{0, 1, 2, 3},
+		Capacities: []int{1, 2},
+		Lookaheads: []int{0, 2},
+		Seed:       1,
+	}
+}
+
+func (a Axes) withDefaults() Axes {
+	d := DefaultAxes()
+	if len(a.Policies) == 0 {
+		a.Policies = d.Policies
+	}
+	if len(a.Queues) == 0 {
+		a.Queues = d.Queues
+	}
+	if len(a.Capacities) == 0 {
+		a.Capacities = d.Capacities
+	}
+	if len(a.Lookaheads) == 0 {
+		a.Lookaheads = d.Lookaheads
+	}
+	return a
+}
+
+// Size returns the number of grid points for numCases cases.
+func (a Axes) Size(numCases int) int {
+	a = a.withDefaults()
+	return numCases * len(a.Policies) * len(a.Queues) * len(a.Capacities) * len(a.Lookaheads)
+}
+
+// Config is one grid point.
+type Config struct {
+	Case      int // index into the cases slice
+	Policy    core.PolicyKind
+	Queues    int // 0 = analysis minimum for the policy
+	Capacity  int
+	Lookahead int // 0 = strict crossing-off
+	Seed      int64
+}
+
+// Outcome is the result of one grid point.
+type Outcome struct {
+	Config
+	CaseName string
+	// DeadlockFree is the compile-time classification under the
+	// config's lookahead budget. When false the run is skipped and
+	// Result is "rejected".
+	DeadlockFree bool
+	// QueuesUsed resolves Queues (0 → the analysis minimum actually
+	// simulated).
+	QueuesUsed int
+	// MinQueues is Theorem 1's queues-per-link requirement for the
+	// config's policy (the dynamic-group minimum for compatible, the
+	// competing-set minimum for static).
+	MinQueues int
+	// Result is "completed", "deadlocked", "timed-out", "rejected"
+	// (analysis refused the program) or "error" (configuration
+	// problem, see Err).
+	Result string
+	Cycles int
+	// MaxQueueDepth is the largest queue occupancy observed.
+	MaxQueueDepth int
+	Err           string
+}
+
+// deadlocked reports whether this grid point stalled at run time.
+func (o Outcome) deadlocked() bool { return o.Result == "deadlocked" }
+
+// Options configures a sweep run.
+type Options struct {
+	// Workers bounds the pool; ≤ 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxCycles bounds each simulation (0 = the simulator's derived
+	// default).
+	MaxCycles int
+}
+
+// Report is the order-stable result of a sweep: Outcomes[i] is grid
+// point i in enumeration order (case-major, then lookahead, capacity,
+// policy, queues).
+type Report struct {
+	Cases    []string
+	Outcomes []Outcome
+}
+
+// Run sweeps the grid. The returned report is identical for any
+// worker count. Cancelling ctx abandons unstarted grid points and
+// returns ctx.Err().
+func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, error) {
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("sweep: no cases")
+	}
+	for i, c := range cases {
+		if c.Program == nil || c.Topology == nil {
+			return nil, fmt.Errorf("sweep: case %d (%q) missing program or topology", i, c.Name)
+		}
+	}
+	axes = axes.withDefaults()
+	for _, q := range axes.Queues {
+		if q < 0 {
+			return nil, fmt.Errorf("sweep: negative queue budget %d", q)
+		}
+	}
+	for _, cp := range axes.Capacities {
+		if cp < 1 {
+			return nil, fmt.Errorf("sweep: capacity %d < 1 (the latch regime needs a dedicated run, not a grid)", cp)
+		}
+	}
+
+	// Enumerate the grid in a fixed order; the report inherits it.
+	configs := make([]Config, 0, axes.Size(len(cases)))
+	for ci := range cases {
+		for _, la := range axes.Lookaheads {
+			for _, cp := range axes.Capacities {
+				for _, pol := range axes.Policies {
+					for _, q := range axes.Queues {
+						configs = append(configs, Config{
+							Case: ci, Policy: pol, Queues: q,
+							Capacity: cp, Lookahead: la, Seed: axes.Seed,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// One analysis per (case, lookahead): it is shared by every
+	// policy, queue budget, and capacity (capacity only affects the
+	// analysis via the derived R2 budget, which the sweep always
+	// overrides with its explicit lookahead axis), and computing it
+	// once up front keeps the workers pure simulation.
+	type akey struct{ caseIdx, lookahead int }
+	analyses := make(map[akey]*core.Analysis)
+	analysisErrs := make(map[akey]error)
+	for _, cfg := range configs {
+		k := akey{cfg.Case, cfg.Lookahead}
+		if _, seen := analyses[k]; seen {
+			continue
+		}
+		if _, seen := analysisErrs[k]; seen {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a, err := analyze(cases[cfg.Case], cfg.Lookahead)
+		if err != nil {
+			analysisErrs[k] = err
+			continue
+		}
+		analyses[k] = a
+	}
+
+	outcomes := make([]Outcome, len(configs))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(configs) {
+		workers = len(configs)
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				cfg := configs[i]
+				k := akey{cfg.Case, cfg.Lookahead}
+				outcomes[i] = runOne(cases[cfg.Case], cfg, analyses[k], analysisErrs[k], opts)
+			}
+		}()
+	}
+	var cancelled error
+feeding:
+	for i := range configs {
+		select {
+		case <-ctx.Done():
+			cancelled = ctx.Err()
+			break feeding
+		case feed <- i:
+		}
+	}
+	close(feed)
+	wg.Wait()
+	if cancelled != nil {
+		return nil, cancelled
+	}
+
+	names := make([]string, len(cases))
+	for i, c := range cases {
+		names[i] = c.Name
+	}
+	return &Report{Cases: names, Outcomes: outcomes}, nil
+}
+
+// analyze runs the compile-time pipeline for one (case, lookahead)
+// key. The explicit budget override makes AnalyzeOptions.Capacity
+// irrelevant, so capacities share one analysis.
+func analyze(c Case, lookahead int) (*core.Analysis, error) {
+	opts := core.AnalyzeOptions{}
+	if lookahead > 0 {
+		opts.Lookahead = true
+		opts.BudgetOverride = func(model.MessageID) int { return lookahead }
+	}
+	return core.Analyze(c.Program, c.Topology, opts)
+}
+
+// runOne executes one grid point.
+func runOne(c Case, cfg Config, a *core.Analysis, aerr error, opts Options) Outcome {
+	// QueuesUsed starts as the requested budget so rejected/error rows
+	// still report which configuration they were; simulated rows below
+	// resolve 0 to the analysis minimum.
+	o := Outcome{Config: cfg, CaseName: c.Name, QueuesUsed: cfg.Queues}
+	if aerr != nil {
+		o.Result = "error"
+		o.Err = aerr.Error()
+		return o
+	}
+	o.DeadlockFree = a.DeadlockFree
+	if !a.DeadlockFree {
+		o.Result = "rejected"
+		return o
+	}
+	o.MinQueues = a.MinQueues(cfg.Policy)
+	o.QueuesUsed = a.ResolveQueues(cfg.Policy, cfg.Queues)
+	res, err := core.Execute(a, core.ExecOptions{
+		Policy:        cfg.Policy,
+		QueuesPerLink: o.QueuesUsed,
+		Capacity:      cfg.Capacity,
+		Seed:          cfg.Seed,
+		MaxCycles:     opts.MaxCycles,
+		// Force: under-provisioned grid points are the interesting
+		// ones — let them run and deadlock rather than be refused.
+		Force: true,
+	})
+	if err != nil {
+		o.Result = "error"
+		o.Err = err.Error()
+		return o
+	}
+	o.Result = res.Outcome()
+	o.Cycles = res.Cycles
+	for _, qs := range res.Stats.Queues {
+		if qs.Stats.MaxOccupancy > o.MaxQueueDepth {
+			o.MaxQueueDepth = qs.Stats.MaxOccupancy
+		}
+	}
+	return o
+}
+
+// Deadlocked returns the outcomes that stalled at run time, in report
+// order.
+func (r *Report) Deadlocked() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if o.deadlocked() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// SafeBudgets returns, per case name, the smallest queues-per-link
+// budget that completed under every (capacity, lookahead) combination
+// the case was simulated with for the given policy — the empirical
+// Theorem 1 budget. A budget only counts when it was actually run in
+// every combination (auto budgets can resolve differently per
+// analysis), and never failed anywhere. Cases with no such budget are
+// absent.
+func (r *Report) SafeBudgets(policy core.PolicyKind) map[string]int {
+	type combo struct{ capacity, lookahead int }
+	combos := make(map[string]map[combo]bool)              // all combos simulated per case
+	completedAt := make(map[string]map[int]map[combo]bool) // combos completed per budget
+	failed := make(map[string]map[int]bool)                // budgets that ever failed
+	for _, o := range r.Outcomes {
+		if o.Policy != policy || o.Result == "rejected" || o.Result == "error" {
+			continue
+		}
+		cb := combo{o.Capacity, o.Lookahead}
+		if combos[o.CaseName] == nil {
+			combos[o.CaseName] = make(map[combo]bool)
+		}
+		combos[o.CaseName][cb] = true
+		q := o.QueuesUsed
+		if o.Result == "completed" {
+			if completedAt[o.CaseName] == nil {
+				completedAt[o.CaseName] = make(map[int]map[combo]bool)
+			}
+			if completedAt[o.CaseName][q] == nil {
+				completedAt[o.CaseName][q] = make(map[combo]bool)
+			}
+			completedAt[o.CaseName][q][cb] = true
+		} else {
+			if failed[o.CaseName] == nil {
+				failed[o.CaseName] = make(map[int]bool)
+			}
+			failed[o.CaseName][q] = true
+		}
+	}
+	out := make(map[string]int)
+	for name, byBudget := range completedAt {
+		best := -1
+		for q, done := range byBudget {
+			if failed[name][q] || len(done) < len(combos[name]) {
+				continue
+			}
+			if best < 0 || q < best {
+				best = q
+			}
+		}
+		if best >= 0 {
+			out[name] = best
+		}
+	}
+	return out
+}
+
+// Table renders the report as a fixed-width text table, one row per
+// grid point in enumeration order, followed by a per-case summary of
+// deadlock counts and safe budgets. The rendering is deterministic:
+// equal reports produce byte-identical tables.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-18s %7s %9s %10s %12s %7s %9s\n",
+		"case", "policy", "queues", "capacity", "lookahead", "result", "cycles", "max-depth")
+	for _, o := range r.Outcomes {
+		queues := fmt.Sprintf("%d", o.QueuesUsed)
+		if o.Queues == 0 {
+			if o.Result == "rejected" || o.Result == "error" {
+				queues = "auto" // never resolved: the run was not simulated
+			} else {
+				queues = fmt.Sprintf("auto(%d)", o.QueuesUsed)
+			}
+		}
+		result := o.Result
+		if o.Result == "error" {
+			result = "error*"
+		}
+		fmt.Fprintf(&b, "%-12s %-18s %7s %9d %10d %12s %7d %9d\n",
+			o.CaseName, o.Policy.String(), queues, o.Capacity, o.Lookahead, result, o.Cycles, o.MaxQueueDepth)
+	}
+	for _, o := range r.Outcomes {
+		if o.Result == "error" {
+			fmt.Fprintf(&b, "* %s %s queues=%d capacity=%d lookahead=%d: %s\n",
+				o.CaseName, o.Policy.String(), o.QueuesUsed, o.Capacity, o.Lookahead, o.Err)
+		}
+	}
+	b.WriteString("\n")
+	counts := make(map[string][2]int) // case -> [deadlocked, total-run]
+	order := append([]string(nil), r.Cases...)
+	sort.Strings(order)
+	for _, o := range r.Outcomes {
+		if o.Result == "rejected" || o.Result == "error" {
+			continue
+		}
+		c := counts[o.CaseName]
+		if o.deadlocked() {
+			c[0]++
+		}
+		c[1]++
+		counts[o.CaseName] = c
+	}
+	summaryPolicies := []core.PolicyKind{core.DynamicCompatible, core.StaticAssignment}
+	safe := make([]map[string]int, len(summaryPolicies))
+	for i, pol := range summaryPolicies {
+		safe[i] = r.SafeBudgets(pol)
+	}
+	for _, name := range order {
+		c := counts[name]
+		fmt.Fprintf(&b, "%s: %d/%d simulated configurations deadlocked\n", name, c[0], c[1])
+		for i, pol := range summaryPolicies {
+			if q, ok := safe[i][name]; ok {
+				fmt.Fprintf(&b, "%s: %s completes every swept configuration at %d queue(s)/link\n", name, pol.String(), q)
+			}
+		}
+	}
+	return b.String()
+}

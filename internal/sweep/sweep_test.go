@@ -1,0 +1,168 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"systolic/internal/core"
+	"systolic/internal/workload"
+)
+
+func testCases() []Case {
+	f7 := workload.Fig7(workload.Fig7Options{})
+	f8 := workload.Fig8()
+	return []Case{
+		{Name: "fig7", Program: f7.Program, Topology: f7.Topology},
+		{Name: "fig8", Program: f8.Program, Topology: f8.Topology},
+	}
+}
+
+// TestDeterministicAcrossWorkers is the acceptance criterion: the same
+// grid and seed produce a byte-identical report with 1 worker and with
+// runtime.NumCPU() workers, over ≥ 100 configurations.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	cases := testCases()
+	axes := Axes{
+		Policies:   []core.PolicyKind{core.NaiveFCFS, core.NaiveRandom, core.StaticAssignment, core.DynamicCompatible},
+		Queues:     []int{0, 1, 2, 3},
+		Capacities: []int{1, 2},
+		Lookaheads: []int{0, 2},
+		Seed:       7,
+	}
+	if n := axes.Size(len(cases)); n < 100 {
+		t.Fatalf("grid has %d configurations, want ≥ 100", n)
+	}
+	seq, err := Run(context.Background(), cases, axes, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), cases, axes, Options{Workers: runtime.NumCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("1-worker and NumCPU-worker reports differ")
+	}
+	if seq.Table() != par.Table() {
+		t.Fatal("rendered tables differ across worker counts")
+	}
+	if len(seq.Outcomes) != axes.Size(len(cases)) {
+		t.Fatalf("report has %d outcomes, want %d", len(seq.Outcomes), axes.Size(len(cases)))
+	}
+}
+
+// TestSweepFindsFig7Deadlock checks the engine reproduces §4: FCFS
+// with one queue per link deadlocks Fig 7, the compatible policy never
+// deadlocks at its Theorem 1 budget, and the safe-budget summary
+// reports it.
+func TestSweepFindsFig7Deadlock(t *testing.T) {
+	cases := testCases()
+	rep, err := Run(context.Background(), cases, Axes{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fcfsDeadlock, compatibleDeadlock bool
+	for _, o := range rep.Outcomes {
+		if o.CaseName != "fig7" {
+			continue
+		}
+		if o.Policy == core.NaiveFCFS && o.QueuesUsed == 1 && o.deadlocked() {
+			fcfsDeadlock = true
+		}
+		if o.Policy == core.DynamicCompatible && o.Queues == 0 && o.Result != "completed" {
+			compatibleDeadlock = true
+		}
+	}
+	if !fcfsDeadlock {
+		t.Error("fig7 under FCFS with 1 queue/link did not deadlock")
+	}
+	if compatibleDeadlock {
+		t.Error("fig7 under compatible assignment at the analysis minimum failed")
+	}
+	if _, ok := rep.SafeBudgets(core.DynamicCompatible)["fig7"]; !ok {
+		t.Error("no safe compatible budget reported for fig7")
+	}
+	if len(rep.Deadlocked()) == 0 {
+		t.Error("sweep over Figs 7–8 found no deadlocks at all")
+	}
+	if !strings.Contains(rep.Table(), "deadlocked") {
+		t.Error("table does not mention deadlocks")
+	}
+}
+
+// TestCancellation checks a cancelled context abandons the sweep
+// promptly with ctx.Err().
+func TestCancellation(t *testing.T) {
+	cases := testCases()
+	axes := Axes{Queues: []int{1, 2, 3, 4, 5, 6, 7, 8}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, cases, axes, Options{Workers: 2}); err != context.Canceled {
+		t.Fatalf("pre-cancelled sweep returned %v, want context.Canceled", err)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, err := Run(ctx2, cases, axes, Options{Workers: 1})
+	if err != nil && err != context.DeadlineExceeded {
+		t.Fatalf("timed-out sweep returned %v", err)
+	}
+	// err == nil is possible if the whole grid beat the deadline; only
+	// a hang is a failure.
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("cancelled sweep did not return promptly")
+	}
+}
+
+// TestRejectedAndAutoBudget checks analysis-rejected grid points are
+// reported (not run) and auto budgets resolve to the analysis minimum.
+func TestRejectedAndAutoBudget(t *testing.T) {
+	p1 := workload.Fig5P1()
+	cases := []Case{{Name: "p1", Program: p1.Program, Topology: p1.Topology}}
+	axes := Axes{
+		Policies:   []core.PolicyKind{core.DynamicCompatible},
+		Queues:     []int{0},
+		Capacities: []int{2},
+		Lookaheads: []int{0, 2},
+	}
+	rep, err := Run(context.Background(), cases, axes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 2 {
+		t.Fatalf("got %d outcomes, want 2", len(rep.Outcomes))
+	}
+	strict, la := rep.Outcomes[0], rep.Outcomes[1]
+	if strict.Result != "rejected" || strict.DeadlockFree {
+		t.Errorf("strict P1 = %q (deadlock-free=%v), want rejected", strict.Result, strict.DeadlockFree)
+	}
+	if la.Result != "completed" {
+		t.Errorf("lookahead-2 P1 = %q, want completed", la.Result)
+	}
+	if la.QueuesUsed < 1 {
+		t.Errorf("auto budget resolved to %d", la.QueuesUsed)
+	}
+}
+
+// TestValidation covers the configuration errors.
+func TestValidation(t *testing.T) {
+	if _, err := Run(context.Background(), nil, Axes{}, Options{}); err == nil {
+		t.Error("empty case list accepted")
+	}
+	cases := testCases()
+	if _, err := Run(context.Background(), cases, Axes{Capacities: []int{0}}, Options{}); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := Run(context.Background(), cases, Axes{Queues: []int{-1}}, Options{}); err == nil {
+		t.Error("negative queue budget accepted")
+	}
+	if _, err := Run(context.Background(), []Case{{Name: "nil"}}, Axes{}, Options{}); err == nil {
+		t.Error("nil program accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package systolic
+
+import (
+	"context"
+
+	"systolic/internal/sweep"
+)
+
+// Parameter-sweep engine (see internal/sweep): run a whole grid of
+// (program × topology × policy × queue budget × capacity × lookahead)
+// configurations across a bounded worker pool and read off which ones
+// deadlock and which Theorem 1 budgets avoid it.
+type (
+	// SweepCase is one named (program, topology) pair under sweep.
+	SweepCase = sweep.Case
+	// SweepAxes spans the configuration grid.
+	SweepAxes = sweep.Axes
+	// SweepOptions bounds the worker pool and per-run cycle budget.
+	SweepOptions = sweep.Options
+	// SweepConfig is one grid point.
+	SweepConfig = sweep.Config
+	// SweepOutcome is one grid point's result.
+	SweepOutcome = sweep.Outcome
+	// SweepReport is the order-stable result of a sweep; identical
+	// for any worker count.
+	SweepReport = sweep.Report
+)
+
+// DefaultSweepAxes contrasts naive FCFS with the paper's policies over
+// small queue, capacity, and lookahead budgets.
+func DefaultSweepAxes() SweepAxes { return sweep.DefaultAxes() }
+
+// Sweep fans the grid over cases across a bounded worker pool.
+// Cancelling ctx abandons unstarted grid points and returns ctx.Err().
+func Sweep(ctx context.Context, cases []SweepCase, axes SweepAxes, opts SweepOptions) (*SweepReport, error) {
+	return sweep.Run(ctx, cases, axes, opts)
+}

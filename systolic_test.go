@@ -1,7 +1,10 @@
 package systolic_test
 
 import (
+	"context"
 	"fmt"
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -194,4 +197,40 @@ func ExampleAnalyze() {
 	fmt.Println(res.Outcome())
 	// Output:
 	// A=1 C=2 B=3 completed
+}
+
+// TestSweepFacade is the acceptance check for the public sweep API: a
+// grid of ≥ 100 configurations produces the same report with 1 worker
+// and with runtime.NumCPU() workers.
+func TestSweepFacade(t *testing.T) {
+	f7 := systolic.Fig7Workload(systolic.Fig7Options{})
+	f8 := systolic.Fig8Workload()
+	cases := []systolic.SweepCase{
+		{Name: "fig7", Program: f7.Program, Topology: f7.Topology},
+		{Name: "fig8", Program: f8.Program, Topology: f8.Topology},
+	}
+	axes := systolic.SweepAxes{
+		Policies:   []systolic.PolicyKind{systolic.NaiveFCFS, systolic.NaiveRandom, systolic.StaticAssignment, systolic.DynamicCompatible},
+		Queues:     []int{0, 1, 2, 3},
+		Capacities: []int{1, 2},
+		Lookaheads: []int{0, 2},
+		Seed:       3,
+	}
+	if n := axes.Size(len(cases)); n < 100 {
+		t.Fatalf("grid has %d configurations, want ≥ 100", n)
+	}
+	seq, err := systolic.Sweep(context.Background(), cases, axes, systolic.SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := systolic.Sweep(context.Background(), cases, axes, systolic.SweepOptions{Workers: runtime.NumCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("1-worker and NumCPU-worker sweep reports differ")
+	}
+	if seq.Table() != par.Table() {
+		t.Fatal("rendered sweep tables differ across worker counts")
+	}
 }
