@@ -7,6 +7,7 @@
 //	sysdl run    prog.sys [flags]    # simulate
 //	sysdl render prog.sys            # program table + routes
 //	sysdl sweep  prog.sys [flags]    # run a grid of configurations
+//	sysdl fuzz   [flags]             # differential oracle over generated programs
 //
 // FILE may be '-' for stdin. Flags for run: -queues N -capacity N
 // -policy compatible|static|fcfs|lifo|random|adversarial -seed N
@@ -14,6 +15,13 @@
 // -sweep-queues, -sweep-capacities, -sweep-lookaheads (comma-separated
 // axis values) and -workers N; the report marks which configurations
 // deadlock and which Theorem 1 budgets avoid it.
+//
+// fuzz takes no FILE: it generates -n seeded random scenarios
+// (seeds -seed … -seed+n-1) and cross-checks the analyzer's Theorem 1
+// verdict against the simulator, reporting invariant violations and
+// minimized counterexamples. Pass -queues Q to force a budget below
+// the Theorem 1 bound and watch the predicted deadlocks appear; any
+// reported seed replays with -n 1 -seed S.
 package main
 
 import (
@@ -26,20 +34,65 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 3 {
+	if len(os.Args) < 2 {
 		usage()
 	}
-	cmd, path := os.Args[1], os.Args[2]
+	cmd := os.Args[1]
+
+	// fuzz generates its own programs — no FILE argument.
+	var path string
+	args := os.Args[2:]
+	if cmd != "fuzz" {
+		if len(os.Args) < 3 {
+			usage()
+		}
+		path = os.Args[2]
+		args = os.Args[3:]
+	}
 
 	opts := cli.DefaultSysdlOptions()
 	fs := flag.NewFlagSet("sysdl "+cmd, flag.ExitOnError)
 	opts.BindFlags(fs)
-	_ = fs.Parse(os.Args[3:])
+	_ = fs.Parse(args)
+	if cmd == "fuzz" {
+		// Flag parsing stops at the first non-flag argument, so a
+		// stray FILE (or any trailing word) would silently swallow
+		// every flag after it — refuse instead of fuzzing defaults.
+		if fs.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "sysdl: fuzz takes no FILE argument (got %q); flags after it were not parsed\n", fs.Arg(0))
+			os.Exit(2)
+		}
+		// Refuse flags fuzz accepts syntactically but does not use, so
+		// e.g. -lookahead is not mistaken for -fuzz-lookahead.
+		ignored := map[string]string{
+			"capacity":  "the oracle sweeps its own capacity grid",
+			"policy":    "the oracle cross-checks the compatible and static policies",
+			"lookahead": "use -fuzz-lookahead N for the §8 analysis budget",
+			"timeline":  "not applicable to fuzz", "stats": "not applicable to fuzz",
+			"force":          "not applicable to fuzz",
+			"sweep-policies": "sweep-only flag", "sweep-queues": "sweep-only flag",
+			"sweep-capacities": "sweep-only flag", "sweep-lookaheads": "sweep-only flag",
+		}
+		bad := false
+		fs.Visit(func(f *flag.Flag) {
+			if why, ok := ignored[f.Name]; ok {
+				fmt.Fprintf(os.Stderr, "sysdl: fuzz does not use -%s (%s)\n", f.Name, why)
+				bad = true
+			}
+		})
+		if bad {
+			os.Exit(2)
+		}
+	}
 
-	src, err := readSource(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sysdl:", err)
-		os.Exit(1)
+	var src string
+	if cmd != "fuzz" {
+		var err error
+		src, err = readSource(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sysdl:", err)
+			os.Exit(1)
+		}
 	}
 	code, err := cli.Sysdl(os.Stdout, cmd, src, opts)
 	if err != nil {
@@ -59,5 +112,6 @@ func readSource(path string) (string, error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: sysdl check|label|plan|run|render|sweep FILE [flags]  (FILE '-' = stdin)")
+	fmt.Fprintln(os.Stderr, "       sysdl fuzz [-n N -seed S -queues Q ...]               (differential oracle)")
 	os.Exit(2)
 }

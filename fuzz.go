@@ -1,0 +1,68 @@
+package systolic
+
+import (
+	"context"
+
+	"systolic/internal/diff"
+	"systolic/internal/gen"
+)
+
+// Randomized scenario generation and the differential oracle (see
+// internal/gen and internal/diff): manufacture thousands of
+// well-formed systolic programs from a seed and cross-check the
+// analyzer's Theorem 1 verdict against what the simulator actually
+// does, under a matrix of policies, queue budgets, and capacities.
+type (
+	// GenOptions are the scenario-generation knobs (cells, messages,
+	// word counts, interleave depth, cyclicity, mutations, topology).
+	GenOptions = gen.Options
+	// GenTopoKind selects the generated topology family.
+	GenTopoKind = gen.TopoKind
+	// Scenario is one generated program/topology pair, reproducible
+	// from its seed and resolved options.
+	Scenario = gen.Scenario
+	// DiffOptions configures the differential oracle.
+	DiffOptions = diff.Options
+	// DiffResult is the oracle's verdict on one scenario.
+	DiffResult = diff.Result
+	// DiffFinding is one violation or expected counterexample.
+	DiffFinding = diff.Finding
+	// DiffReport is the order-stable outcome of a batch DiffRun.
+	DiffReport = diff.Report
+)
+
+// Generated topology families.
+const (
+	// GenTopoAuto picks a family per seed.
+	GenTopoAuto = gen.TopoAuto
+	// GenTopoLinear generates 1-D arrays.
+	GenTopoLinear = gen.TopoLinear
+	// GenTopoRing generates rings.
+	GenTopoRing = gen.TopoRing
+	// GenTopoMesh generates 2-D meshes.
+	GenTopoMesh = gen.TopoMesh
+)
+
+// GenerateProgram builds the scenario for a seed: a valid program
+// over a linear, ring, or mesh topology. The same (seed, opts) always
+// yields the identical scenario.
+func GenerateProgram(seed int64, opts GenOptions) (*Scenario, error) {
+	return gen.Generate(seed, opts)
+}
+
+// DiffCheck runs the differential oracle on one scenario: Analyze,
+// then Execute under every configured policy × queue budget ×
+// capacity, asserting the paper's invariants (Theorem 1 completion,
+// stream equality and integrity, labeling consistency) and minimizing
+// any counterexample.
+func DiffCheck(sc *Scenario, opts DiffOptions) DiffResult {
+	return diff.Check(sc, opts)
+}
+
+// DiffRun generates and checks n scenarios with seeds seed…seed+n-1
+// across a bounded worker pool. The report is byte-identical for any
+// worker count; any finding is replayable from its scenario seed
+// alone.
+func DiffRun(ctx context.Context, n int, seed int64, opts DiffOptions) (*DiffReport, error) {
+	return diff.Run(ctx, n, seed, opts)
+}

@@ -29,11 +29,22 @@ type SysdlOptions struct {
 	SweepCapacities string
 	SweepLookaheads string
 	Workers         int
+
+	// fuzz-verb flags: scenario count and generation knobs. The fuzz
+	// verb also reuses -seed (base seed), -queues (> 0 forces an
+	// absolute under-budget probe) and -workers.
+	FuzzN          int
+	FuzzMutations  int
+	FuzzCyclic     bool
+	FuzzCells      int
+	FuzzInterleave int
+	FuzzTopology   string
+	FuzzLookahead  int
 }
 
 // DefaultSysdlOptions returns the tool's flag defaults.
 func DefaultSysdlOptions() SysdlOptions {
-	return SysdlOptions{Capacity: 1, Policy: "compatible", Seed: 1}
+	return SysdlOptions{Capacity: 1, Policy: "compatible", Seed: 1, FuzzN: 256, FuzzMutations: 2}
 }
 
 // BindFlags registers the options on a FlagSet.
@@ -50,13 +61,24 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.StringVar(&o.SweepQueues, "sweep-queues", o.SweepQueues, "sweep: comma-separated queue budgets, 0 = auto (default 0,1,2,3)")
 	fs.StringVar(&o.SweepCapacities, "sweep-capacities", o.SweepCapacities, "sweep: comma-separated capacities (default 1,2)")
 	fs.StringVar(&o.SweepLookaheads, "sweep-lookaheads", o.SweepLookaheads, "sweep: comma-separated lookahead budgets, 0 = strict (default 0,2)")
-	fs.IntVar(&o.Workers, "workers", o.Workers, "sweep: worker-pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&o.Workers, "workers", o.Workers, "sweep/fuzz: worker-pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&o.FuzzN, "n", o.FuzzN, "fuzz: number of scenarios (seeds seed..seed+n-1)")
+	fs.IntVar(&o.FuzzMutations, "fuzz-mutations", o.FuzzMutations, "fuzz: adjacent-op swaps per scenario (0 = deadlock-free by construction)")
+	fs.BoolVar(&o.FuzzCyclic, "fuzz-cyclic", o.FuzzCyclic, "fuzz: allow cyclic data flow")
+	fs.IntVar(&o.FuzzCells, "fuzz-cells", o.FuzzCells, "fuzz: cells per scenario (0 = per-seed random)")
+	fs.IntVar(&o.FuzzInterleave, "fuzz-interleave", o.FuzzInterleave, "fuzz: interleave depth (0 = per-seed random)")
+	fs.StringVar(&o.FuzzTopology, "fuzz-topology", o.FuzzTopology, "fuzz: auto|linear|ring|mesh")
+	fs.IntVar(&o.FuzzLookahead, "fuzz-lookahead", o.FuzzLookahead, "fuzz: §8 analysis budget (0 = strict)")
 }
 
 // Sysdl executes one sysdl subcommand over DSL source text, writing
 // human output to w. It returns the process exit code and an error for
-// usage/config problems (already reflected in the exit code).
+// usage/config problems (already reflected in the exit code). The
+// fuzz verb generates its own programs and ignores src.
 func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
+	if cmd == "fuzz" {
+		return Fuzz(w, opts)
+	}
 	p, topo, err := systolic.ParseDSL(src)
 	if err != nil {
 		return 1, err
@@ -148,6 +170,65 @@ func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
 		return 0, nil
 	}
 	return 2, fmt.Errorf("cli: unknown subcommand %q", cmd)
+}
+
+// Fuzz runs the differential oracle: n generated scenarios checked
+// against the paper's invariants across a worker pool. The report is
+// byte-identical across runs for fixed flags. Exit code 1 means the
+// oracle found invariant violations; expected under-budget
+// counterexamples (when -queues forces a budget below the Theorem 1
+// bound) keep exit code 0.
+func Fuzz(w io.Writer, opts SysdlOptions) (int, error) {
+	topo, err := parseGenTopology(opts.FuzzTopology)
+	if err != nil {
+		return 2, err
+	}
+	if opts.FuzzN < 1 {
+		return 2, fmt.Errorf("cli: -n %d < 1", opts.FuzzN)
+	}
+	dopts := systolic.DiffOptions{
+		Gen: systolic.GenOptions{
+			Cells:      opts.FuzzCells,
+			Interleave: opts.FuzzInterleave,
+			Mutations:  opts.FuzzMutations,
+			Cyclic:     opts.FuzzCyclic,
+			Topology:   topo,
+		},
+		QueueOverride: opts.Queues,
+		Lookahead:     opts.FuzzLookahead,
+		Workers:       opts.Workers,
+	}
+	// Bad generation knobs (e.g. -fuzz-cells 1) fail for every seed
+	// identically: catch them once up front as a usage error instead
+	// of reporting n generate-error "violations".
+	if _, err := systolic.GenerateProgram(opts.Seed, dopts.Gen); err != nil {
+		return 2, err
+	}
+	rep, err := systolic.DiffRun(context.Background(), opts.FuzzN, opts.Seed, dopts)
+	if err != nil {
+		return 1, err
+	}
+	fmt.Fprint(w, rep.Summary())
+	if len(rep.Violations()) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// parseGenTopology maps the -fuzz-topology flag value onto a
+// generation family.
+func parseGenTopology(name string) (systolic.GenTopoKind, error) {
+	switch name {
+	case "", "auto":
+		return systolic.GenTopoAuto, nil
+	case "linear":
+		return systolic.GenTopoLinear, nil
+	case "ring":
+		return systolic.GenTopoRing, nil
+	case "mesh":
+		return systolic.GenTopoMesh, nil
+	}
+	return 0, fmt.Errorf("cli: unknown fuzz topology %q", name)
 }
 
 // sweepAxes builds the sweep grid from the comma-separated flag

@@ -24,6 +24,26 @@ import (
 	"systolic/internal/verify"
 )
 
+// OptionError is a typed rejection of an invalid Analyze or Execute
+// option: machine-generated configurations (the differential oracle,
+// the sweep engine) distinguish a bad option from a genuine engine
+// failure with errors.As. Every invalid option is rejected here at
+// the API boundary, before any state is built, instead of panicking
+// deep in internal/sim.
+type OptionError struct {
+	// Op is "Analyze" or "Execute".
+	Op string
+	// Field names the offending option.
+	Field string
+	// Reason says what was wrong with it.
+	Reason string
+}
+
+// Error renders the rejection.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("core: %s: option %s: %s", e.Op, e.Field, e.Reason)
+}
+
 // AnalyzeOptions configures compile-time analysis.
 type AnalyzeOptions struct {
 	// Lookahead admits programs that need queue buffering (§8). The
@@ -69,6 +89,15 @@ type Analysis struct {
 // false and no labeling, not an error; errors are reserved for
 // configuration problems (e.g. unroutable messages).
 func Analyze(p *model.Program, t topology.Topology, opts AnalyzeOptions) (*Analysis, error) {
+	if p == nil {
+		return nil, &OptionError{Op: "Analyze", Field: "Program", Reason: "nil program"}
+	}
+	if t == nil {
+		return nil, &OptionError{Op: "Analyze", Field: "Topology", Reason: "nil topology"}
+	}
+	if opts.Capacity < 0 {
+		return nil, &OptionError{Op: "Analyze", Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", opts.Capacity)}
+	}
 	routes, err := topology.Routes(p, t)
 	if err != nil {
 		return nil, err
@@ -222,6 +251,32 @@ func (a *Analysis) ResolveQueues(policy PolicyKind, requested int) int {
 // (ii) first (unless Force) so that a refusal is a clear report rather
 // than a run-time stall.
 func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
+	if a == nil || a.Program == nil {
+		return nil, &OptionError{Op: "Execute", Field: "Analysis", Reason: "nil analysis"}
+	}
+	if a.Topology == nil {
+		return nil, &OptionError{Op: "Execute", Field: "Analysis.Topology", Reason: "nil topology"}
+	}
+	if opts.QueuesPerLink < 0 {
+		return nil, &OptionError{Op: "Execute", Field: "QueuesPerLink", Reason: fmt.Sprintf("negative queue count %d (0 = analysis minimum)", opts.QueuesPerLink)}
+	}
+	if opts.Capacity < 0 {
+		return nil, &OptionError{Op: "Execute", Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", opts.Capacity)}
+	}
+	if opts.ExtCapacity < 0 {
+		return nil, &OptionError{Op: "Execute", Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", opts.ExtCapacity)}
+	}
+	if opts.ExtPenalty < 0 {
+		return nil, &OptionError{Op: "Execute", Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", opts.ExtPenalty)}
+	}
+	if opts.MaxCycles < 0 {
+		return nil, &OptionError{Op: "Execute", Field: "MaxCycles", Reason: fmt.Sprintf("negative cycle bound %d", opts.MaxCycles)}
+	}
+	switch opts.Policy {
+	case DynamicCompatible, StaticAssignment, NaiveFCFS, NaiveLIFO, NaiveRandom, NaiveAdversarial:
+	default:
+		return nil, &OptionError{Op: "Execute", Field: "Policy", Reason: fmt.Sprintf("unknown policy kind %d", int(opts.Policy))}
+	}
 	if !a.DeadlockFree {
 		return nil, fmt.Errorf("core: program is not deadlock-free: %s",
 			crossoff.DescribeBlocked(a.Program, a.Blocked))

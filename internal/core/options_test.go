@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"systolic/internal/model"
+	"systolic/internal/sim"
+	"systolic/internal/topology"
+)
+
+func optProgram(t *testing.T) *model.Program {
+	t.Helper()
+	b := model.NewBuilder()
+	cs := b.AddCells("C", 2)
+	m := b.DeclareMessage("M", cs[0], cs[1], 1)
+	b.Write(cs[0], m)
+	b.Read(cs[1], m)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestAnalyzeOptionErrors: nil inputs and negative capacities are
+// rejected with typed *OptionError before any analysis state is
+// built — the differential oracle feeds edge-case configs and relies
+// on this failing cleanly instead of panicking.
+func TestAnalyzeOptionErrors(t *testing.T) {
+	p := optProgram(t)
+	topo := topology.Linear(2)
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"nil program", func() error { _, err := Analyze(nil, topo, AnalyzeOptions{}); return err }},
+		{"nil topology", func() error { _, err := Analyze(p, nil, AnalyzeOptions{}); return err }},
+		{"negative capacity", func() error { _, err := Analyze(p, topo, AnalyzeOptions{Capacity: -1}); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("err = %v, want *OptionError", err)
+			}
+			if oe.Op != "Analyze" {
+				t.Errorf("Op = %q, want Analyze", oe.Op)
+			}
+		})
+	}
+}
+
+// TestExecuteOptionErrors mirrors TestAnalyzeOptionErrors on the
+// run-time side.
+func TestExecuteOptionErrors(t *testing.T) {
+	p := optProgram(t)
+	a, err := Analyze(p, topology.Linear(2), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		a    *Analysis
+		opts ExecOptions
+	}{
+		{"nil analysis", nil, ExecOptions{}},
+		{"nil topology", &Analysis{Program: p}, ExecOptions{}},
+		{"negative queues", a, ExecOptions{QueuesPerLink: -1}},
+		{"negative capacity", a, ExecOptions{Capacity: -2}},
+		{"negative ext capacity", a, ExecOptions{ExtCapacity: -1}},
+		{"negative ext penalty", a, ExecOptions{ExtPenalty: -1}},
+		{"negative max cycles", a, ExecOptions{MaxCycles: -7}},
+		{"unknown policy", a, ExecOptions{Policy: PolicyKind(42)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Execute(tc.a, tc.opts)
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("err = %v, want *OptionError", err)
+			}
+			if oe.Op != "Execute" {
+				t.Errorf("Op = %q, want Execute", oe.Op)
+			}
+		})
+	}
+}
+
+// TestSimConfigErrors: the simulator's own boundary rejects broken
+// configs with typed *sim.ConfigError (zero queues per link, nil
+// topology, negative capacity).
+func TestSimConfigErrors(t *testing.T) {
+	p := optProgram(t)
+	topo := topology.Linear(2)
+	a, err := Analyze(p, topo, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := DynamicCompatible.policy(0)
+	cases := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"nil topology", sim.Config{Policy: pol, QueuesPerLink: 1, Capacity: 1}},
+		{"nil policy", sim.Config{Topology: topo, QueuesPerLink: 1, Capacity: 1}},
+		{"zero queues", sim.Config{Topology: topo, Policy: pol, QueuesPerLink: 0, Capacity: 1}},
+		{"negative capacity", sim.Config{Topology: topo, Policy: pol, QueuesPerLink: 1, Capacity: -1}},
+		{"routes mismatch", sim.Config{Topology: topo, Policy: pol, QueuesPerLink: 1, Capacity: 1,
+			Routes: make([][]topology.Hop, 5)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Labels = a.Labeling.Dense
+			_, err := sim.Run(p, cfg)
+			var ce *sim.ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v, want *sim.ConfigError", err)
+			}
+		})
+	}
+}
+
+// TestAnalyzeNilTopologyNoPanics: the historical failure mode was a
+// nil-interface panic inside topology.Routes; it must be an error all
+// the way down.
+func TestAnalyzeNilTopologyNoPanics(t *testing.T) {
+	p := optProgram(t)
+	if _, err := topology.Routes(p, nil); err == nil {
+		t.Error("topology.Routes(p, nil): want error")
+	}
+}

@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"testing"
+
+	"systolic/internal/crossoff"
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// TestDeterministic: the same (seed, opts) must reproduce the
+// identical scenario, byte for byte.
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, err := Generate(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d (second call): %v", seed, err)
+		}
+		if a.Program.String() != b.Program.String() {
+			t.Fatalf("seed %d: programs differ:\n%s\nvs\n%s", seed, a.Program, b.Program)
+		}
+		if a.Topology.Name() != b.Topology.Name() {
+			t.Fatalf("seed %d: topologies differ: %s vs %s", seed, a.Topology.Name(), b.Topology.Name())
+		}
+		if a.Opts != b.Opts {
+			t.Fatalf("seed %d: resolved opts differ: %+v vs %+v", seed, a.Opts, b.Opts)
+		}
+	}
+}
+
+// TestDeadlockFreeByConstruction: without mutations, every generated
+// program must pass the strict crossing-off test — the history-order
+// construction is the oracle.
+func TestDeadlockFreeByConstruction(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		sc, err := Generate(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !crossoff.Classify(sc.Program, crossoff.Options{}) {
+			t.Fatalf("seed %d: un-mutated program rejected by strict crossing-off:\n%s", seed, sc.Program)
+		}
+	}
+}
+
+// TestRoutable: every generated scenario's messages must route over
+// its topology (the generator never declares an unroutable message).
+func TestRoutable(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		sc, err := Generate(seed, Options{Cyclic: seed%2 == 0, Mutations: int(seed % 5)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := topology.Routes(sc.Program, sc.Topology); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestKnobsRespected: pinned knobs survive into the resolved options
+// and the program.
+func TestKnobsRespected(t *testing.T) {
+	sc, err := Generate(7, Options{Cells: 5, Messages: 4, MaxWords: 3, Interleave: 1, Topology: TopoLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Program.NumCells() != 5 {
+		t.Errorf("cells = %d, want 5", sc.Program.NumCells())
+	}
+	if sc.Program.NumMessages() != 4 {
+		t.Errorf("messages = %d, want 4", sc.Program.NumMessages())
+	}
+	for _, m := range sc.Program.Messages() {
+		if m.Words < 1 || m.Words > 3 {
+			t.Errorf("message %s words = %d, want 1..3", m.Name, m.Words)
+		}
+	}
+	if sc.Topology.Name() != "linear(5)" {
+		t.Errorf("topology = %s, want linear(5)", sc.Topology.Name())
+	}
+}
+
+// TestInterleaveOne: depth-1 scenarios transfer one message at a time,
+// so each cell's program is a run of blocks, never an interleaving —
+// every message's ops are contiguous within its sender and receiver.
+func TestInterleaveOne(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		sc, err := Generate(seed, Options{Interleave: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p := sc.Program
+		for c := 0; c < p.NumCells(); c++ {
+			code := p.Code(model.CellID(c))
+			last := map[int]int{}
+			for i, op := range code {
+				if j, seen := last[int(op.Msg)]; seen && j != i-1 {
+					t.Fatalf("seed %d: cell %d interleaves message %d at ops %d and %d despite depth 1:\n%s",
+						seed, c, op.Msg, j, i, p)
+				}
+				last[int(op.Msg)] = i
+			}
+		}
+	}
+}
+
+// TestErrors: impossible knob combinations are rejected, not panicked.
+func TestErrors(t *testing.T) {
+	for _, opts := range []Options{
+		{Cells: 1},
+		{Messages: -1},
+		{MaxWords: -2},
+		{Interleave: -1},
+		{Mutations: -3},
+		{Topology: TopoKind(99)},
+	} {
+		if _, err := Generate(1, opts); err == nil {
+			t.Errorf("Generate(1, %+v): want error", opts)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package label
+
+import (
+	"fmt"
+	"testing"
+
+	"systolic/internal/gen"
+	"systolic/internal/model"
+)
+
+// concat builds the sequential composition of two programs over the
+// same cell count: p's messages and code, then q's messages (renamed)
+// and code appended cell by cell. If both halves are deadlock-free the
+// composition is too — cross off p's pairs in their order, then q's.
+func concat(t *testing.T, p, q *model.Program) *model.Program {
+	t.Helper()
+	if p.NumCells() != q.NumCells() {
+		t.Fatalf("concat: %d vs %d cells", p.NumCells(), q.NumCells())
+	}
+	b := model.NewBuilder()
+	for _, c := range p.Cells() {
+		b.AddCell(c.Name)
+	}
+	remapP := make([]model.MessageID, p.NumMessages())
+	for _, m := range p.Messages() {
+		remapP[m.ID] = b.DeclareMessage("P"+m.Name, m.Sender, m.Receiver, m.Words)
+	}
+	remapQ := make([]model.MessageID, q.NumMessages())
+	for _, m := range q.Messages() {
+		remapQ[m.ID] = b.DeclareMessage("Q"+m.Name, m.Sender, m.Receiver, m.Words)
+	}
+	emit := func(src *model.Program, remap []model.MessageID) {
+		for c := 0; c < src.NumCells(); c++ {
+			for _, op := range src.Code(model.CellID(c)) {
+				if op.Kind == model.Write {
+					b.Write(model.CellID(c), remap[op.Msg])
+				} else {
+					b.Read(model.CellID(c), remap[op.Msg])
+				}
+			}
+		}
+	}
+	emit(p, remapP)
+	emit(q, remapQ)
+	built, err := b.Build()
+	if err != nil {
+		t.Fatalf("concat: %v", err)
+	}
+	return built
+}
+
+// TestPropertyConsistentLabelingSurvivesConcatenation: for generated
+// deadlock-free programs p and q over the same cells, the sequential
+// composition p;q must label consistently — the §6 scheme (or its
+// order-based fallback) always finds nondecreasing per-cell labels for
+// the whole, and Check agrees.
+func TestPropertyConsistentLabelingSurvivesConcatenation(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cells := 4 + int(seed%4)
+			opts := gen.Options{Cells: cells, Topology: gen.TopoLinear}
+			p, err := gen.Generate(seed, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := gen.Generate(seed+1000, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			whole := concat(t, p.Program, q.Program)
+
+			lab, err := Assign(whole, Options{})
+			if err != nil {
+				t.Fatalf("labeling the concatenation failed: %v\n%s", err, whole)
+			}
+			if err := Check(whole, lab.ByMessage); err != nil {
+				t.Fatalf("inconsistent labeling on concatenation: %v\n%s", err, whole)
+			}
+			if err := CheckDense(whole, lab.Dense); err != nil {
+				t.Fatalf("dense ranks inconsistent on concatenation: %v", err)
+			}
+
+			// The halves alone must also label consistently — the
+			// property is about composition, not repair.
+			for name, half := range map[string]*model.Program{"p": p.Program, "q": q.Program} {
+				l, err := Assign(half, Options{})
+				if err != nil {
+					t.Fatalf("half %s: %v", name, err)
+				}
+				if err := Check(half, l.ByMessage); err != nil {
+					t.Fatalf("half %s inconsistent: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyRelatedClassesShareLabels: messages the §6 relation ties
+// together must receive equal labels from Assign — rule 1c stated as
+// a property over generated interleaved programs.
+func TestPropertyRelatedClassesShareLabels(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		sc, err := gen.Generate(seed, gen.Options{Interleave: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab, err := Assign(sc.Program, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		uf := Related(sc.Program)
+		for a := 0; a < sc.Program.NumMessages(); a++ {
+			for b := a + 1; b < sc.Program.NumMessages(); b++ {
+				if uf.Same(a, b) && !lab.ByMessage[a].Equal(lab.ByMessage[b]) {
+					t.Errorf("seed %d: related messages %d and %d labeled %v vs %v",
+						seed, a, b, lab.ByMessage[a], lab.ByMessage[b])
+				}
+			}
+		}
+	}
+}

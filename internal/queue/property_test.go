@@ -1,0 +1,150 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+
+	"systolic/internal/gen"
+	"systolic/internal/model"
+)
+
+// TestPropertyFIFOUnderGeneratedInterleavings drives one Queue per
+// message with the op interleavings of generated programs: each cell's
+// code is replayed as a schedule where W(m) enqueues message m's next
+// word and R(m) dequeues one (when ready). A plain-slice reference
+// model runs alongside; the Queue must agree on every pop, order
+// included, under arbitrary interleavings of enqueue and dequeue.
+func TestPropertyFIFOUnderGeneratedInterleavings(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		sc, err := gen.Generate(seed, gen.Options{Interleave: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := sc.Program
+		// One queue and one reference FIFO per message; capacities
+		// cycle through small values to exercise the full/backoff
+		// paths.
+		qs := make([]*Queue, p.NumMessages())
+		ref := make([][]Word, p.NumMessages())
+		produced := make([]int, p.NumMessages())
+		// credits[m] counts words force-drained by a full writer before
+		// the reader reached its R(m); those reads are already
+		// satisfied.
+		credits := make([]int, p.NumMessages())
+		for m := range qs {
+			qs[m] = New(1+int(seed)%3, 0, 0)
+		}
+		// Replay every cell's schedule round-robin one op at a time so
+		// enqueues and dequeues from different cells interleave the
+		// way the simulator would interleave them.
+		pcs := make([]int, p.NumCells())
+		for remaining := p.TotalOps(); remaining > 0; {
+			advanced := false
+			for c := 0; c < p.NumCells(); c++ {
+				if pcs[c] >= len(p.Code(model.CellID(c))) {
+					continue
+				}
+				op := p.Code(model.CellID(c))[pcs[c]]
+				m := int(op.Msg)
+				if op.Kind == model.Write {
+					w := Word(float64(m)*1e6 + float64(produced[m]))
+					if !qs[m].CanAccept() {
+						// Full: drain one word first so the schedule
+						// always terminates; the displaced word
+						// satisfies one future R(m).
+						drain(t, qs[m], &ref[m], m)
+						credits[m]++
+					}
+					if !qs[m].Push(w) {
+						t.Fatalf("seed %d: push refused with CanAccept true", seed)
+					}
+					produced[m]++
+					ref[m] = append(ref[m], w)
+				} else if credits[m] > 0 {
+					credits[m]--
+				} else {
+					if qs[m].Empty() {
+						// Reader ahead of writer: skip this cell for
+						// now; a later round supplies the word.
+						continue
+					}
+					drain(t, qs[m], &ref[m], m)
+				}
+				pcs[c]++
+				remaining--
+				advanced = true
+			}
+			if !advanced {
+				t.Fatalf("seed %d: schedule wedged at pcs=%v", seed, pcs)
+			}
+		}
+		for m := range qs {
+			for !qs[m].Empty() {
+				drain(t, qs[m], &ref[m], m)
+			}
+			if len(ref[m]) != 0 {
+				t.Fatalf("seed %d: message %d reference holds %d undelivered words", seed, m, len(ref[m]))
+			}
+		}
+	}
+}
+
+// drain pops one word and checks it against the reference front.
+func drain(t *testing.T, q *Queue, ref *[]Word, m int) {
+	t.Helper()
+	if !q.FrontReady() {
+		t.Fatalf("message %d: queue not ready with %d buffered words", m, q.Len())
+	}
+	got := q.Pop()
+	if len(*ref) == 0 {
+		t.Fatalf("message %d: popped %v from an empty reference", m, got)
+	}
+	want := (*ref)[0]
+	*ref = (*ref)[1:]
+	if got != want {
+		t.Fatalf("message %d: FIFO order broken: popped %v, want %v", m, got, want)
+	}
+}
+
+// TestPropertyExtensionKeepsOrder: the §8 queue extension must delay
+// pops, never reorder them — random push/pop interleavings with
+// cooldowns ticked through.
+func TestPropertyExtensionKeepsOrder(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := New(2, 1+rng.Intn(2), 1+rng.Intn(3))
+		var ref []Word
+		next := 0
+		for step := 0; step < 500; step++ {
+			q.Tick()
+			if rng.Intn(2) == 0 && q.CanAccept() {
+				w := Word(next)
+				next++
+				if !q.Push(w) {
+					t.Fatalf("seed %d: push refused with CanAccept true", seed)
+				}
+				ref = append(ref, w)
+			} else if q.FrontReady() {
+				got := q.Pop()
+				if got != ref[0] {
+					t.Fatalf("seed %d: popped %v, want %v", seed, got, ref[0])
+				}
+				ref = ref[1:]
+			}
+		}
+		for tick := 0; len(ref) > 0; tick++ {
+			if tick > 1000 {
+				t.Fatalf("seed %d: queue never became ready draining the tail (%d words left)", seed, len(ref))
+			}
+			q.Tick()
+			if !q.FrontReady() {
+				continue
+			}
+			got := q.Pop()
+			if got != ref[0] {
+				t.Fatalf("seed %d: tail popped %v, want %v", seed, got, ref[0])
+			}
+			ref = ref[1:]
+		}
+	}
+}

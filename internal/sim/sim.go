@@ -25,6 +25,20 @@ import (
 // Word re-exports the queue word type.
 type Word = queue.Word
 
+// ConfigError is a typed rejection of an invalid Config: the named
+// field cannot be simulated. Callers assembling configurations
+// mechanically (core.Execute normally pre-validates; direct Simulate
+// users may not) detect it with errors.As.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+// Error renders the rejection.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: config %s: %s", e.Field, e.Reason)
+}
+
 // CellLogic supplies word values so workloads can verify end-to-end
 // arithmetic (e.g. the FIR outputs of Fig 2). Calls follow program
 // order per cell: OnRead when a read completes, Produce when a write
@@ -256,17 +270,26 @@ func (r *runner) poolOf(h topology.Hop) poolID {
 // bound. It returns an error only for configuration problems; run-time
 // deadlock is a Result, not an error.
 func Run(p *model.Program, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, &ConfigError{Field: "Program", Reason: "nil program"}
+	}
 	if cfg.Topology == nil {
-		return nil, fmt.Errorf("sim: nil topology")
+		return nil, &ConfigError{Field: "Topology", Reason: "nil topology"}
 	}
 	if cfg.Policy == nil {
-		return nil, fmt.Errorf("sim: nil policy")
+		return nil, &ConfigError{Field: "Policy", Reason: "nil policy"}
 	}
 	if cfg.QueuesPerLink < 1 {
-		return nil, fmt.Errorf("sim: QueuesPerLink %d < 1", cfg.QueuesPerLink)
+		return nil, &ConfigError{Field: "QueuesPerLink", Reason: fmt.Sprintf("%d < 1 (every link needs at least one queue, §2.3)", cfg.QueuesPerLink)}
 	}
-	if cfg.Capacity < 0 || cfg.ExtCapacity < 0 || cfg.ExtPenalty < 0 {
-		return nil, fmt.Errorf("sim: negative capacity or penalty")
+	if cfg.Capacity < 0 {
+		return nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", cfg.Capacity)}
+	}
+	if cfg.ExtCapacity < 0 {
+		return nil, &ConfigError{Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", cfg.ExtCapacity)}
+	}
+	if cfg.ExtPenalty < 0 {
+		return nil, &ConfigError{Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", cfg.ExtPenalty)}
 	}
 	routes := cfg.Routes
 	if routes == nil {
@@ -276,18 +299,18 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	} else if len(routes) != p.NumMessages() {
-		return nil, fmt.Errorf("sim: Config.Routes has %d entries for %d messages", len(routes), p.NumMessages())
+		return nil, &ConfigError{Field: "Routes", Reason: fmt.Sprintf("%d entries for %d messages", len(routes), p.NumMessages())}
 	}
 	if cfg.Capacity == 0 {
 		for id, rt := range routes {
 			if len(rt) > 1 {
-				return nil, fmt.Errorf(
-					"sim: capacity 0 (latch) supports single-hop routes only; message %s crosses %d links",
-					p.Message(model.MessageID(id)).Name, len(rt))
+				return nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf(
+					"capacity 0 (latch) supports single-hop routes only; message %s crosses %d links",
+					p.Message(model.MessageID(id)).Name, len(rt))}
 			}
 		}
 		if cfg.ExtCapacity > 0 {
-			return nil, fmt.Errorf("sim: queue extension requires base capacity ≥ 1")
+			return nil, &ConfigError{Field: "ExtCapacity", Reason: "queue extension requires base capacity ≥ 1"}
 		}
 	}
 	logic := cfg.Logic

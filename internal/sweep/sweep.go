@@ -26,6 +26,50 @@ import (
 	"systolic/internal/topology"
 )
 
+// ForEach runs fn(i) for every i in [0,n) across a bounded worker
+// pool (workers ≤ 0 means runtime.GOMAXPROCS(0)). Callers write each
+// result into its own slot, which keeps the output order-stable for
+// any worker count — the same discipline Run uses for its grid, shared
+// here so other batch engines (the differential oracle in
+// internal/diff) fan out the same way. Cancelling ctx abandons
+// unstarted indices and returns ctx.Err(); started calls always
+// finish.
+func ForEach(ctx context.Context, n, workers int, fn func(int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				fn(i)
+			}
+		}()
+	}
+	var cancelled error
+feeding:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			cancelled = ctx.Err()
+			break feeding
+		case feed <- i:
+		}
+	}
+	close(feed)
+	wg.Wait()
+	return cancelled
+}
+
 // Case is one named (program, topology) pair under sweep.
 type Case struct {
 	Name     string
@@ -215,40 +259,12 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 	}
 
 	outcomes := make([]Outcome, len(configs))
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(configs) {
-		workers = len(configs)
-	}
-	feed := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range feed {
-				cfg := configs[i]
-				k := akey{cfg.Case, cfg.Lookahead}
-				outcomes[i] = runOne(cases[cfg.Case], cfg, analyses[k], analysisErrs[k], opts)
-			}
-		}()
-	}
-	var cancelled error
-feeding:
-	for i := range configs {
-		select {
-		case <-ctx.Done():
-			cancelled = ctx.Err()
-			break feeding
-		case feed <- i:
-		}
-	}
-	close(feed)
-	wg.Wait()
-	if cancelled != nil {
-		return nil, cancelled
+	if err := ForEach(ctx, len(configs), opts.Workers, func(i int) {
+		cfg := configs[i]
+		k := akey{cfg.Case, cfg.Lookahead}
+		outcomes[i] = runOne(cases[cfg.Case], cfg, analyses[k], analysisErrs[k], opts)
+	}); err != nil {
+		return nil, err
 	}
 
 	names := make([]string, len(cases))

@@ -260,6 +260,9 @@ func Graph(n int, edges [][2]model.CellID) Topology {
 // Routes computes the route of every message of p over t. The result
 // is indexed by MessageID.
 func Routes(p *model.Program, t Topology) ([][]Hop, error) {
+	if t == nil {
+		return nil, fmt.Errorf("topology: nil topology")
+	}
 	if p.NumCells() > t.NumCells() {
 		return nil, fmt.Errorf("topology: program has %d cells but %s has only %d", p.NumCells(), t.Name(), t.NumCells())
 	}
