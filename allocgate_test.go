@@ -1,0 +1,62 @@
+package systolic_test
+
+// Allocation gates for the compile-once execution core: CI fails when
+// a change re-introduces per-run allocations that scale with program
+// or array size. Budgets are ~3x the measured steady state (8–16
+// allocs per Execute) so legitimate small additions don't flap the
+// gate, while an O(cells) or O(messages) regression (hundreds to
+// thousands of allocations) trips it immediately. The gates are
+// skipped under the race detector, whose instrumentation changes
+// allocation behavior.
+
+import (
+	"testing"
+
+	"systolic"
+)
+
+// allocGate asserts the steady-state allocations of one Execute call
+// against a budget, after a warm-up run has populated the machine's
+// execution pool.
+func allocGate(t *testing.T, name string, budget float64, a *systolic.Analysis, opts systolic.ExecOptions) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation gates are not meaningful under -race")
+	}
+	run := func() {
+		res, err := systolic.Execute(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatal(res.Outcome())
+		}
+	}
+	run() // warm the pooled exec scratch
+	if got := testing.AllocsPerRun(10, run); got > budget {
+		t.Errorf("%s: %v allocs per Execute, budget %v", name, got, budget)
+	}
+}
+
+// TestAllocGateExecute gates the per-run allocation count of the
+// compiled machine on a small analyzed workload.
+func TestAllocGateExecute(t *testing.T) {
+	w := systolic.Fig7Workload(systolic.Fig7Options{})
+	a, err := systolic.Analyze(w.Program, w.Topology, systolic.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocGate(t, "fig7/compatible", 48, a, systolic.ExecOptions{QueuesPerLink: 2, Capacity: 1})
+	allocGate(t, "fig7/naive-fcfs", 48, a, systolic.ExecOptions{
+		Policy: systolic.NaiveFCFS, QueuesPerLink: 2, Capacity: 1, Force: true,
+	})
+}
+
+// TestAllocGateExecuteScaleFree gates the property the ready-set
+// scheduler exists for: per-run allocations must not scale with the
+// array — a 1024-cell mostly-idle workload gets the same budget as an
+// 8-cell one.
+func TestAllocGateExecuteScaleFree(t *testing.T) {
+	a := largeLinearWorkload(t, 1024, 4)
+	allocGate(t, "large-linear-1024", 48, a, systolic.ExecOptions{Capacity: 2})
+}

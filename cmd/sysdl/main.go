@@ -22,6 +22,10 @@
 // minimized counterexamples. Pass -queues Q to force a budget below
 // the Theorem 1 bound and watch the predicted deadlocks appear; any
 // reported seed replays with -n 1 -seed S.
+//
+// Every verb accepts -cpuprofile FILE and -memprofile FILE, which
+// write pprof profiles covering the whole command for `go tool
+// pprof`.
 package main
 
 import (
@@ -94,9 +98,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	stopProfiles, err := cli.StartProfiles(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sysdl:", err)
+		os.Exit(1)
+	}
 	code, err := cli.Sysdl(os.Stdout, cmd, src, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sysdl:", err)
+	}
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintln(os.Stderr, "sysdl:", perr)
+		if code == 0 {
+			code = 1
+		}
 	}
 	os.Exit(code)
 }

@@ -12,6 +12,9 @@ import (
 // well-formed systolic programs from a seed and cross-check the
 // analyzer's Theorem 1 verdict against what the simulator actually
 // does, under a matrix of policies, queue budgets, and capacities.
+// Each scenario's matrix runs against one compiled machine (the
+// oracle analyzes once and Execute reuses the cached compile), so
+// oracle throughput scales with simulation work, not setup.
 type (
 	// GenOptions are the scenario-generation knobs (cells, messages,
 	// word counts, interleave depth, cyclicity, mutations, topology).

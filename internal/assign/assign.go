@@ -26,6 +26,9 @@ import (
 )
 
 // Context carries the compile-time information policies may use.
+// The compiled-machine runtime (internal/machine) shares one Context's
+// maps and slices across unlimited runs, so policies must treat every
+// field as read-only.
 type Context struct {
 	Program *model.Program
 	// Routes is indexed by message id.
@@ -34,6 +37,18 @@ type Context struct {
 	// direction; the pool of queues on a link is shared and a queue's
 	// direction is set when bound, §2.3).
 	Competing map[topology.LinkID][]model.MessageID
+	// NumPools is the number of queue pools (dense ids [0,NumPools)).
+	// 0 means unknown; policies derive a bound from Competing's keys.
+	NumPools int
+	// CompetingByPool, when non-nil, is Competing as a dense
+	// pool-indexed slice, precompiled by the machine layer. Shared
+	// and read-only.
+	CompetingByPool [][]model.MessageID
+	// LabelOrder, when non-nil, is each pool's competing set
+	// pre-sorted by (label, message id) — the grant order of the
+	// compatible policy, precompiled once so per-run Setup stops
+	// re-sorting. Shared and read-only.
+	LabelOrder [][]model.MessageID
 	// Labels are dense 1-based labels per message; nil when the
 	// driving pipeline skipped labeling (naive baselines tolerate
 	// that, Compatible does not).
@@ -42,13 +57,34 @@ type Context struct {
 	QueuesPerLink int
 }
 
+// poolCount resolves the number of dense pool ids: NumPools when set,
+// otherwise one past the largest Competing key.
+func (c *Context) poolCount() int {
+	n := c.NumPools
+	for link := range c.Competing {
+		if int(link)+1 > n {
+			n = int(link) + 1
+		}
+	}
+	return n
+}
+
 // Policy decides which competing messages are bound to free queues.
-// The simulator calls Grant once per link per cycle.
+//
+// The scheduler invokes Grant for a pool only on cycles where the
+// pool's observable state — the free-queue count or the pending list —
+// has changed since the previous invocation (plus once at cycle 0).
+// A Grant call whose inputs match its previous call is guaranteed to
+// be elided, so implementations must be pure functions of (free,
+// pending, own grant history): no time-based behavior, and no side
+// effects (RNG draws included) on calls that grant nothing because
+// free == 0 or pending is empty.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Setup validates the context and precomputes per-link state. It
-	// must be called exactly once before Grant.
+	// must be called exactly once before Grant, and must not mutate
+	// or retain-for-writing anything reachable from ctx.
 	Setup(ctx *Context) error
 	// Grant returns the messages to bind to free queues on link now.
 	// free is the number of unbound queues; pending lists messages
@@ -69,9 +105,13 @@ type Policy interface {
 func Compatible() Policy { return &compatible{} }
 
 type compatible struct {
-	order map[topology.LinkID][]model.MessageID // label-sorted competing
-	next  map[topology.LinkID]int               // first ungranted index
+	order [][]model.MessageID // label-sorted competing, per pool; shared read-only
+	next  []int               // first ungranted index, per pool
 	label []int
+	// scratch backs Grant's return value; the runner consumes each
+	// grant list before the next Grant call, so one buffer serves the
+	// whole run without allocating per cycle.
+	scratch []model.MessageID
 }
 
 func (c *compatible) Name() string { return "compatible" }
@@ -81,27 +121,35 @@ func (c *compatible) Setup(ctx *Context) error {
 		return fmt.Errorf("assign: compatible policy requires labels")
 	}
 	c.label = ctx.Labels
-	c.order = make(map[topology.LinkID][]model.MessageID, len(ctx.Competing))
-	c.next = make(map[topology.LinkID]int, len(ctx.Competing))
-	for link, msgs := range ctx.Competing {
-		sorted := append([]model.MessageID(nil), msgs...)
-		sort.Slice(sorted, func(i, j int) bool {
-			li, lj := ctx.Labels[sorted[i]], ctx.Labels[sorted[j]]
-			if li != lj {
-				return li < lj
-			}
-			return sorted[i] < sorted[j]
-		})
-		c.order[link] = sorted
-		c.next[link] = 0
+	if ctx.LabelOrder != nil {
+		// Precompiled by the machine layer: identical to the sort
+		// below, shared across runs, never mutated.
+		c.order = ctx.LabelOrder
+	} else {
+		c.order = make([][]model.MessageID, ctx.poolCount())
+		for link, msgs := range ctx.Competing {
+			sorted := append([]model.MessageID(nil), msgs...)
+			sort.Slice(sorted, func(i, j int) bool {
+				li, lj := ctx.Labels[sorted[i]], ctx.Labels[sorted[j]]
+				if li != lj {
+					return li < lj
+				}
+				return sorted[i] < sorted[j]
+			})
+			c.order[link] = sorted
+		}
 	}
+	c.next = make([]int, len(c.order))
 	return nil
 }
 
 func (c *compatible) Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID {
+	if int(link) >= len(c.order) {
+		return nil
+	}
 	order := c.order[link]
 	i := c.next[link]
-	var grants []model.MessageID
+	grants := c.scratch[:0]
 	for i < len(order) {
 		// Identify the equal-label group starting at i.
 		j := i
@@ -116,6 +164,10 @@ func (c *compatible) Grant(now int, link topology.LinkID, free int, pending []mo
 		i = j
 	}
 	c.next[link] = i
+	c.scratch = grants
+	if len(grants) == 0 {
+		return nil
+	}
 	return grants
 }
 
@@ -125,33 +177,35 @@ func (c *compatible) Grant(now int, link topology.LinkID, free int, pending []mo
 func Static() Policy { return &static{} }
 
 type static struct {
-	competing map[topology.LinkID][]model.MessageID
-	done      map[topology.LinkID]bool
+	competing [][]model.MessageID // per pool; shared read-only
+	done      []bool
 }
 
 func (s *static) Name() string { return "static" }
 
 func (s *static) Setup(ctx *Context) error {
-	// Validate in sorted link order so the reported link is
-	// deterministic (map iteration order is not).
-	links := make([]topology.LinkID, 0, len(ctx.Competing))
-	for link := range ctx.Competing {
-		links = append(links, link)
+	byPool := ctx.CompetingByPool
+	if byPool == nil {
+		byPool = make([][]model.MessageID, ctx.poolCount())
+		for link, msgs := range ctx.Competing {
+			byPool[link] = msgs
+		}
 	}
-	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
-	for _, link := range links {
-		if msgs := ctx.Competing[link]; len(msgs) > ctx.QueuesPerLink {
+	// Validate in ascending pool order so the reported link is
+	// deterministic.
+	for link, msgs := range byPool {
+		if len(msgs) > ctx.QueuesPerLink {
 			return fmt.Errorf("assign: static policy: link %d has %d competing messages but %d queues",
 				link, len(msgs), ctx.QueuesPerLink)
 		}
 	}
-	s.competing = ctx.Competing
-	s.done = make(map[topology.LinkID]bool)
+	s.competing = byPool
+	s.done = make([]bool, len(byPool))
 	return nil
 }
 
 func (s *static) Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID {
-	if s.done[link] {
+	if int(link) >= len(s.done) || s.done[link] {
 		return nil
 	}
 	s.done[link] = true
@@ -200,16 +254,21 @@ func Naive(arb Arbiter, seed int64) Policy {
 }
 
 type naive struct {
-	arb    Arbiter
-	seed   int64
-	rng    *rand.Rand
-	labels []int
+	arb     Arbiter
+	seed    int64
+	rng     *rand.Rand
+	labels  []int
+	scratch []model.MessageID // backs Grant's return; see compatible.scratch
 }
 
 func (n *naive) Name() string { return "naive-" + n.arb.String() }
 
 func (n *naive) Setup(ctx *Context) error {
-	n.rng = rand.New(rand.NewSource(n.seed))
+	if n.arb == Random {
+		// Only the random arbiter draws; the others skip the RNG
+		// allocation entirely.
+		n.rng = rand.New(rand.NewSource(n.seed))
+	}
 	n.labels = ctx.Labels
 	if n.arb == LabelDescending && n.labels == nil {
 		return fmt.Errorf("assign: %s arbiter requires labels", n.arb)
@@ -221,7 +280,8 @@ func (n *naive) Grant(now int, link topology.LinkID, free int, pending []model.M
 	if free <= 0 || len(pending) == 0 {
 		return nil
 	}
-	order := append([]model.MessageID(nil), pending...)
+	order := append(n.scratch[:0], pending...)
+	n.scratch = order
 	switch n.arb {
 	case FCFS:
 		// arrival order as given

@@ -1,6 +1,9 @@
 package cli
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -182,5 +185,47 @@ func TestParsePolicy(t *testing.T) {
 	}
 	if _, err := ParsePolicy("nope"); err == nil {
 		t.Error("bad policy accepted")
+	}
+}
+
+// TestStartProfilesWritesFiles runs a command bracketed by the
+// profiling helper and checks both pprof files appear and are
+// non-empty.
+func TestStartProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultSysdlOptions()
+	opts.CPUProfile = filepath.Join(dir, "cpu.out")
+	opts.MemProfile = filepath.Join(dir, "mem.out")
+	stop, err := StartProfiles(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if code, err := Sysdl(&buf, "plan", sampleDSL, opts); err != nil || code != 0 {
+		t.Fatalf("plan: code=%d err=%v", code, err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{opts.CPUProfile, opts.MemProfile} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+}
+
+// TestStartProfilesNoop: with both flags empty the helper must not
+// create anything and stop must succeed.
+func TestStartProfilesNoop(t *testing.T) {
+	stop, err := StartProfiles(DefaultSysdlOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
 	}
 }

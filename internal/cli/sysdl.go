@@ -5,6 +5,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,6 +43,11 @@ type SysdlOptions struct {
 	FuzzInterleave int
 	FuzzTopology   string
 	FuzzLookahead  int
+
+	// Profiling flags, usable with every verb: write a pprof CPU or
+	// heap profile covering the whole command (see StartProfiles).
+	CPUProfile string
+	MemProfile string
 }
 
 // DefaultSysdlOptions returns the tool's flag defaults.
@@ -69,6 +77,49 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.IntVar(&o.FuzzInterleave, "fuzz-interleave", o.FuzzInterleave, "fuzz: interleave depth (0 = per-seed random)")
 	fs.StringVar(&o.FuzzTopology, "fuzz-topology", o.FuzzTopology, "fuzz: auto|linear|ring|mesh")
 	fs.IntVar(&o.FuzzLookahead, "fuzz-lookahead", o.FuzzLookahead, "fuzz: §8 analysis budget (0 = strict)")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", o.CPUProfile, "write a pprof CPU profile to this file")
+	fs.StringVar(&o.MemProfile, "memprofile", o.MemProfile, "write a pprof heap profile to this file on exit")
+}
+
+// StartProfiles starts the profiling the options ask for and returns
+// a stop function that must run exactly once before the process
+// exits: it ends the CPU profile and writes the heap profile. With
+// both flags empty it is a no-op. The profiles cover the entire
+// command — parse, analysis, compile, and every simulated cycle — so
+// `sysdl sweep big.sys -cpuprofile cpu.out` feeds straight into
+// `go tool pprof`.
+func StartProfiles(opts SysdlOptions) (stop func() error, err error) {
+	var cpuFile *os.File
+	if opts.CPUProfile != "" {
+		cpuFile, err = os.Create(opts.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cli: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cli: -cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cli: -cpuprofile: %w", err)
+			}
+		}
+		if opts.MemProfile != "" {
+			f, err := os.Create(opts.MemProfile)
+			if err != nil {
+				return fmt.Errorf("cli: -memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile reflects retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("cli: -memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // Sysdl executes one sysdl subcommand over DSL source text, writing

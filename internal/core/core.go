@@ -14,10 +14,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"systolic/internal/assign"
 	"systolic/internal/crossoff"
 	"systolic/internal/label"
+	"systolic/internal/machine"
 	"systolic/internal/model"
 	"systolic/internal/sim"
 	"systolic/internal/topology"
@@ -82,6 +84,24 @@ type Analysis struct {
 	// (largest competing set).
 	MinQueuesDynamic int
 	MinQueuesStatic  int
+
+	// machineOnce caches the compiled machine: one Analysis serves
+	// unlimited Execute calls (the sweep grid, the oracle's policy ×
+	// budget × capacity matrix) off a single compile.
+	machineOnce sync.Once
+	machine     *machine.Machine
+	machineErr  error
+}
+
+// Machine returns the compiled execution machine for this analysis,
+// compiling it on first use and caching it thereafter. The machine is
+// immutable and safe for concurrent Execute calls; everything a run
+// can vary (policy, queue budget, capacity, logic) is chosen per run.
+func (a *Analysis) Machine() (*machine.Machine, error) {
+	a.machineOnce.Do(func() {
+		a.machine, a.machineErr = machine.Compile(a.Program, a.Topology, a.Routes, a.Labeling.Dense)
+	})
+	return a.machine, a.machineErr
 }
 
 // Analyze classifies, labels, and sizes a program over a topology.
@@ -130,10 +150,7 @@ func Analyze(p *model.Program, t topology.Topology, opts AnalyzeOptions) (*Analy
 	}
 	a.Labeling = lab
 
-	rep, err := verify.CheckPreconditions(p, t, lab.Dense, 1<<30)
-	if err != nil {
-		return nil, err
-	}
+	rep := verify.CheckPreconditionsRoutes(routes, lab.Dense, 1<<30)
 	a.MinQueuesDynamic = rep.MaxGroup
 	a.MinQueuesStatic = rep.MaxCompeting
 	return a, nil
@@ -302,16 +319,17 @@ func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
 			}
 		}
 	}
-	return sim.Run(a.Program, sim.Config{
-		Topology:         a.Topology,
-		Routes:           a.Routes,
+	m, err := a.Machine()
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(machine.ExecOptions{
+		Policy:           opts.Policy.policy(opts.Seed),
 		QueuesPerLink:    queues,
 		Capacity:         capacity,
 		ExtCapacity:      opts.ExtCapacity,
 		ExtPenalty:       opts.ExtPenalty,
 		DirectionalPools: opts.DirectionalPools,
-		Policy:           opts.Policy.policy(opts.Seed),
-		Labels:           a.Labeling.Dense,
 		Logic:            opts.Logic,
 		MaxCycles:        opts.MaxCycles,
 		RecordTimeline:   opts.RecordTimeline,

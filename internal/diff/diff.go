@@ -27,6 +27,12 @@
 // (seed+i), every result lands in its own slot (sweep.ForEach), and
 // rendering is order-stable — byte-identical output for any worker
 // count.
+//
+// Each scenario is analyzed once and its policy × budget × capacity
+// matrix executes against the single machine compiled for that
+// analysis (core.Analysis.Machine); shrinking re-analyzes only
+// because every candidate is a different program, and even then each
+// candidate's accept/reject simulations share one compile.
 package diff
 
 import (

@@ -1,0 +1,874 @@
+package machine
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"systolic/internal/assign"
+	"systolic/internal/model"
+	"systolic/internal/queue"
+	"systolic/internal/topology"
+)
+
+// This file is the ready-set scheduler: the per-cycle loop that
+// replaces the reference engine's full scan over every cell, queue,
+// and message with event-driven wake lists. The invariant it lives
+// by is *exact equivalence* — same grants, same transfers, same
+// pending-list orders, same cycle counts, same deadlock reports as
+// the reference loop in internal/sim — achieved by revisiting, each
+// cycle, precisely the entities whose observable state an event could
+// have changed since their last visit:
+//
+//   - cells: a cell's front op only changes when the cell issues, so
+//     first-hop queue requests are re-examined only for cells whose pc
+//     advanced ("dirty cells", processed in cell-id order — the same
+//     relative order as the reference full scan, which skips unchanged
+//     cells as no-ops);
+//   - reads and interior advances visit only messages with words
+//     buffered on their route (the "transport" set: written > read);
+//   - sender writes and capacity-0 rendezvous visit only messages
+//     whose sender is parked at W(msg) with the first-hop queue bound
+//     (the "writer" set, maintained by the grant and pc-advance
+//     hooks);
+//   - interior queue requests re-check only messages pushed into
+//     since the last collect (the "reqCheck" set);
+//   - queue releases re-check only messages with a departure event
+//     this cycle (the "moved" set) — a queue is releasable exactly
+//     when its last word departs;
+//   - pools: Grant is re-invoked only when a pool's free count or
+//     pending list changed since its previous invocation ("armed
+//     pools", visited in ascending pool order). Policies are pure
+//     functions of (free, pending, own grant history) — see the
+//     assign.Policy contract — so skipped invocations are exactly the
+//     ones that could neither grant nor mutate policy state;
+//   - queues: cooldown ticks touch only queues with an armed
+//     extension penalty ("cooling list").
+//
+// All message-set iterations run in ascending message id (sorted
+// lists or sorted-at-use buffers), matching the reference engine's
+// message-order scans; set membership is a superset of the entries
+// the reference scan could act on, so skipped entries are exactly its
+// no-ops.
+//
+// Blocked-cycle accounting is derived in closed form at the end of a
+// run (per cell: cycles elapsed while unfinished minus ops issued)
+// instead of a per-cycle scan; the result is bit-identical to the
+// reference engine's counter.
+
+// queueInst is one physical queue in a link's pool.
+type queueInst struct {
+	link topology.LinkID // real link, for reporting
+	idx  int             // queue index within the link, for reporting
+	slot int             // index in exec.queues, for the cooling list
+	q    queue.Queue
+
+	bound   bool
+	msg     model.MessageID
+	hop     int // index into the bound message's route
+	cooling bool
+}
+
+// msgState tracks one message's transport progress. The per-hop
+// slices are windows into the exec's flat arenas.
+type msgState struct {
+	queues    []*queueInst // per hop; nil until granted
+	granted   []bool
+	requested []bool
+	departed  []int // words that have left hop i (last hop: read by receiver)
+	written   int   // words pushed by the sender
+	read      int   // words consumed by the receiver
+}
+
+// exec holds all mutable state of one run. Everything that does not
+// escape into the Result is pooled on the Machine and reused across
+// runs.
+type exec struct {
+	m              *Machine
+	logic          CellLogic
+	policy         assign.Policy
+	flavor         int // 0 shared pools, 1 directional
+	capacity       int
+	queuesPerLink  int
+	recordTimeline bool
+
+	numPools int
+	queues   []queueInst         // pool p occupies [p*Q : (p+1)*Q]
+	pending  [][]model.MessageID // per pool, outstanding requests
+
+	msgs     []msgState
+	hopQ     []*queueInst // flat backing for msgState.queues
+	hopFlags []bool       // flat backing for granted + requested
+	hopInts  []int        // flat backing for departed
+
+	pc         []int
+	issued     []bool
+	issuedList []int // cells issued this cycle, to clear cheaply
+	finishedAt []int // per cell: cycle of its final issue
+	remaining  int   // cells with ops left
+
+	cellDirty  []bool
+	dirtyCells []int // cells whose pc advanced since the last collect
+
+	// transport lists messages with words buffered somewhere on their
+	// route (written > read): the only messages reads and interior
+	// advances can act on. Sorted ascending; stale entries carry a
+	// false inTransport flag and are compacted at the next visit.
+	transport   []model.MessageID
+	inTransport []bool
+	// writers lists messages whose sender is parked at W(msg) with
+	// the first-hop queue bound: the only candidates for sender
+	// writes and capacity-0 rendezvous. Maintained by the grant and
+	// pc-advance hooks; writerScratch snapshots it per cycle so
+	// mid-cycle insertions target the real list.
+	writers       []model.MessageID
+	writeReady    []bool
+	writerScratch []model.MessageID
+	// reqCheck lists messages pushed into since the last collect: the
+	// only candidates for new interior-hop queue requests.
+	reqCheck []model.MessageID
+	reqFlag  []bool
+	// movedMsgs lists messages with a departure event this cycle: the
+	// only candidates for queue release.
+	movedMsgs []model.MessageID
+	movedFlag []bool
+
+	poolArmed  []bool
+	armed      []int // pools to visit next grantPhase (sorted at use)
+	armedSpare []int
+
+	cooling []int // queue slots with a possibly-armed cooldown
+
+	received [][]Word // escapes into Result; fresh per run
+	arena    []Word   // backing store for all received words; fresh per run
+
+	ctx assign.Context // per-run policy context; fields are shared read-only views
+
+	res   Result
+	stats Stats
+	now   int
+	moved bool // any event this cycle
+}
+
+// deliver appends a received word. Each message's slice is a window
+// into one per-run arena, installed on first delivery (so messages
+// that never deliver stay nil, as callers expect) and capped at the
+// declared word count: the whole run's received output costs one
+// allocation instead of one per message.
+func (e *exec) deliver(id model.MessageID, w Word) {
+	if e.received[id] == nil {
+		off, end := e.m.wordOff[id], e.m.wordOff[id+1]
+		e.received[id] = e.arena[off:off:end]
+	}
+	e.received[id] = append(e.received[id], w)
+}
+
+// grow returns s resized to n, reusing its backing array when large
+// enough. Contents are unspecified; callers clear what they need.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// init sizes the exec for one run, reusing pooled backing arrays.
+func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int) {
+	e.m = m
+	e.logic = opts.Logic
+	e.policy = opts.Policy
+	e.flavor = flavor
+	e.capacity = opts.Capacity
+	e.queuesPerLink = opts.QueuesPerLink
+	e.recordTimeline = opts.RecordTimeline
+
+	q := opts.QueuesPerLink
+	e.numPools = tbl.numPools
+	e.queues = grow(e.queues, e.numPools*q)
+	for i := range e.queues {
+		qi := &e.queues[i]
+		pool := i / q
+		realLink := topology.LinkID(pool)
+		qi.idx = i % q
+		if flavor == 1 {
+			realLink = topology.LinkID(pool / 2)
+			// A link's two pools are contiguous (forward 0..Q-1,
+			// reverse Q..2Q-1), keeping (link, idx) unique in
+			// timelines and stats.
+			qi.idx = i % (2 * q)
+		}
+		qi.link = realLink
+		qi.slot = i
+		qi.bound = false
+		qi.msg = 0
+		qi.hop = 0
+		qi.cooling = false
+		qi.q.Init(opts.Capacity, opts.ExtCapacity, opts.ExtPenalty)
+	}
+	e.pending = grow(e.pending, e.numPools)
+	for i := range e.pending {
+		e.pending[i] = e.pending[i][:0]
+	}
+
+	totalHops := m.totalHops
+	e.hopQ = grow(e.hopQ, totalHops)
+	e.hopFlags = grow(e.hopFlags, 2*totalHops)
+	e.hopInts = grow(e.hopInts, totalHops)
+	clear(e.hopQ)
+	clear(e.hopFlags)
+	clear(e.hopInts)
+	msgs := m.prog.NumMessages()
+	e.msgs = grow(e.msgs, msgs)
+	for id := range e.msgs {
+		off, end := m.hopOff[id], m.hopOff[id+1]
+		e.msgs[id] = msgState{
+			queues:    e.hopQ[off:end:end],
+			granted:   e.hopFlags[off:end:end],
+			requested: e.hopFlags[int32(totalHops)+off : int32(totalHops)+end : int32(totalHops)+end],
+			departed:  e.hopInts[off:end:end],
+		}
+	}
+
+	cells := m.prog.NumCells()
+	e.pc = grow(e.pc, cells)
+	e.issued = grow(e.issued, cells)
+	e.finishedAt = grow(e.finishedAt, cells)
+	e.cellDirty = grow(e.cellDirty, cells)
+	clear(e.pc)
+	clear(e.issued)
+	clear(e.finishedAt)
+	e.issuedList = e.issuedList[:0]
+	e.remaining = m.codeCells
+
+	// Every cell and every pool starts "dirty": cycle 0 of the
+	// reference engine scans them all, and so do we — once.
+	e.dirtyCells = grow(e.dirtyCells, cells)
+	for c := 0; c < cells; c++ {
+		e.cellDirty[c] = true
+		e.dirtyCells[c] = c
+	}
+	e.inTransport = grow(e.inTransport, msgs)
+	e.writeReady = grow(e.writeReady, msgs)
+	e.reqFlag = grow(e.reqFlag, msgs)
+	e.movedFlag = grow(e.movedFlag, msgs)
+	clear(e.inTransport)
+	clear(e.writeReady)
+	clear(e.reqFlag)
+	clear(e.movedFlag)
+	e.transport = e.transport[:0]
+	e.writers = e.writers[:0]
+	e.writerScratch = e.writerScratch[:0]
+	e.reqCheck = e.reqCheck[:0]
+	e.movedMsgs = e.movedMsgs[:0]
+	e.poolArmed = grow(e.poolArmed, e.numPools)
+	e.armed = grow(e.armed, e.numPools)
+	for p := 0; p < e.numPools; p++ {
+		e.poolArmed[p] = true
+		e.armed[p] = p
+	}
+	e.armedSpare = e.armedSpare[:0]
+	e.cooling = e.cooling[:0]
+
+	e.received = make([][]Word, msgs)
+	e.arena = make([]Word, m.totalWords)
+	e.res = Result{}
+	e.stats = Stats{}
+	e.now = 0
+	e.moved = false
+}
+
+// release clears every reference that escaped into the returned
+// Result (and the per-run inputs) before the exec returns to the
+// machine's pool.
+func (e *exec) release() {
+	e.m = nil
+	e.logic = nil
+	e.policy = nil
+	e.received = nil
+	e.arena = nil
+	e.ctx = assign.Context{}
+	e.res = Result{}
+	e.stats = Stats{}
+}
+
+// poolOf returns the pool serving hop i of message id under the
+// run's regime.
+func (e *exec) poolOf(id model.MessageID, hop int) int {
+	return int(e.m.hops[e.m.hopOff[id]+int32(hop)].pool[e.flavor])
+}
+
+// pool returns the queue instances of pool p.
+func (e *exec) pool(p int) []queueInst {
+	return e.queues[p*e.queuesPerLink : (p+1)*e.queuesPerLink]
+}
+
+// hopOn returns the route hop of msg served by pool, or -1.
+func (e *exec) hopOn(pool int, msg model.MessageID) int {
+	hops := e.m.msgHops(msg)
+	for i := range hops {
+		if int(hops[i].pool[e.flavor]) == pool {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *exec) armPool(p int) {
+	if !e.poolArmed[p] {
+		e.poolArmed[p] = true
+		e.armed = append(e.armed, p)
+	}
+}
+
+func (e *exec) markCellDirty(c int) {
+	if !e.cellDirty[c] {
+		e.cellDirty[c] = true
+		e.dirtyCells = append(e.dirtyCells, c)
+	}
+}
+
+// insertMsg inserts id into an ascending message list.
+func insertMsg(list []model.MessageID, id model.MessageID) []model.MessageID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = id
+	return list
+}
+
+// noteTransport records that id now has buffered words.
+func (e *exec) noteTransport(id model.MessageID) {
+	if !e.inTransport[id] {
+		e.inTransport[id] = true
+		e.transport = insertMsg(e.transport, id)
+	}
+}
+
+// noteWriter records that id's sender is parked at W(id) with the
+// first-hop queue bound. Called from the grant hook and the
+// pc-advance hook, which together cover both orders the two
+// conditions can become true in.
+func (e *exec) noteWriter(id model.MessageID) {
+	if !e.writeReady[id] {
+		e.writeReady[id] = true
+		e.writers = insertMsg(e.writers, id)
+	}
+}
+
+// noteReqCheck records a push into one of id's queues: its next hop
+// may now be requestable.
+func (e *exec) noteReqCheck(id model.MessageID) {
+	if !e.reqFlag[id] {
+		e.reqFlag[id] = true
+		e.reqCheck = append(e.reqCheck, id)
+	}
+}
+
+// noteMoved records a departure event: one of id's queues may now be
+// releasable.
+func (e *exec) noteMoved(id model.MessageID) {
+	if !e.movedFlag[id] {
+		e.movedFlag[id] = true
+		e.movedMsgs = append(e.movedMsgs, id)
+	}
+}
+
+// noteCooling registers a queue whose Pop may have armed an
+// extension-access cooldown.
+func (e *exec) noteCooling(qi *queueInst) {
+	if !qi.cooling && qi.q.Cooling() {
+		qi.cooling = true
+		e.cooling = append(e.cooling, qi.slot)
+	}
+}
+
+// advancePC issues cell c's front op: one op per cell per cycle. When
+// the new front op is a write on an already-granted message, the
+// message joins the writer set directly; otherwise the dirty-cell
+// pass handles any first-hop queue request.
+func (e *exec) advancePC(c int) {
+	e.pc[c]++
+	e.issued[c] = true
+	e.issuedList = append(e.issuedList, c)
+	if e.pc[c] >= len(e.m.code(c)) {
+		e.finishedAt[c] = e.now
+		e.remaining--
+		return
+	}
+	e.markCellDirty(c)
+	if op := e.m.code(c)[e.pc[c]]; op.Kind == model.Write {
+		ms := &e.msgs[op.Msg]
+		if len(ms.queues) > 0 && ms.queues[0] != nil {
+			e.noteWriter(op.Msg)
+		}
+	}
+}
+
+// run executes the scheduler loop. The cycle structure — tick,
+// collect, grant, transfer, release, deadlock check — is the
+// reference engine's, with each phase visiting only its ready set.
+func (e *exec) run(maxCycles int) {
+	for e.now = 0; e.now < maxCycles; e.now++ {
+		if e.remaining == 0 {
+			break
+		}
+		e.moved = false
+		e.tickCooling()
+		e.collectRequests()
+		e.grantPhase()
+		e.cellAndTransferPhase()
+		e.releasePhase()
+		if !e.moved && !e.anyCooling() {
+			e.res.Deadlocked = true
+			e.res.Blocked = e.blockedReport()
+			break
+		}
+	}
+}
+
+// tickCooling advances extension-penalty cooldowns, compacting
+// entries whose cooldown has expired.
+func (e *exec) tickCooling() {
+	w := 0
+	for _, slot := range e.cooling {
+		qi := &e.queues[slot]
+		if qi.q.Cooling() {
+			qi.q.Tick()
+			e.cooling[w] = slot
+			w++
+		} else {
+			qi.cooling = false
+		}
+	}
+	e.cooling = e.cooling[:w]
+}
+
+// anyCooling reports whether some queue is waiting out an
+// extension-access penalty; such cycles are latency, not deadlock.
+func (e *exec) anyCooling() bool {
+	for _, slot := range e.cooling {
+		if e.queues[slot].q.Cooling() {
+			return true
+		}
+	}
+	return false
+}
+
+// collectRequests registers queue requests: a message asks for its
+// first hop when its sender reaches a W on it, and for hop i>0 when
+// its header is buffered at the cell feeding that hop (§5). First-hop
+// checks run over dirty cells in cell order, then interior checks
+// over live messages in message order — the same relative append
+// order the reference full scan produces.
+func (e *exec) collectRequests() {
+	slices.Sort(e.dirtyCells)
+	for _, c := range e.dirtyCells {
+		e.cellDirty[c] = false
+		code := e.m.code(c)
+		if e.pc[c] >= len(code) {
+			continue
+		}
+		op := code[e.pc[c]]
+		if op.Kind != model.Write {
+			continue
+		}
+		ms := &e.msgs[op.Msg]
+		if len(ms.queues) > 0 && !ms.requested[0] {
+			ms.requested[0] = true
+			pool := e.poolOf(op.Msg, 0)
+			e.pending[pool] = append(e.pending[pool], op.Msg)
+			e.armPool(pool)
+		}
+	}
+	e.dirtyCells = e.dirtyCells[:0]
+
+	// Interior requests: only messages pushed into since the last
+	// collect can have a newly non-empty queue; requested flags make
+	// re-checks of older non-empty queues no-ops, so this subset in
+	// ascending order appends to the pending lists exactly as the
+	// full message scan did.
+	slices.Sort(e.reqCheck)
+	for _, id := range e.reqCheck {
+		e.reqFlag[id] = false
+		ms := &e.msgs[id]
+		for hop := 1; hop < len(ms.queues); hop++ {
+			if ms.requested[hop] || ms.queues[hop-1] == nil {
+				continue
+			}
+			if ms.queues[hop-1].q.Len() > 0 {
+				ms.requested[hop] = true
+				pool := e.poolOf(id, hop)
+				e.pending[pool] = append(e.pending[pool], id)
+				e.armPool(pool)
+			}
+		}
+	}
+	e.reqCheck = e.reqCheck[:0]
+}
+
+// grantPhase invokes the policy for every armed pool in ascending
+// pool order. A pool re-arms whenever its free count or pending list
+// changes, so every invocation the reference engine's per-cycle sweep
+// would have made that could matter is made here too.
+func (e *exec) grantPhase() {
+	cur := e.armed
+	e.armed = e.armedSpare[:0]
+	slices.Sort(cur)
+	for _, pid := range cur {
+		e.poolArmed[pid] = false
+		pool := e.pool(pid)
+		free := 0
+		for i := range pool {
+			if !pool[i].bound {
+				free++
+			}
+		}
+		grants := e.policy.Grant(e.now, topology.LinkID(pid), free, e.pending[pid])
+		for _, msg := range grants {
+			if free == 0 {
+				break // policy over-granted; ignore the excess
+			}
+			hop := e.hopOn(pid, msg)
+			if hop < 0 || e.msgs[msg].granted[hop] {
+				continue
+			}
+			var qi *queueInst
+			for i := range pool {
+				if !pool[i].bound {
+					qi = &pool[i]
+					break
+				}
+			}
+			qi.bound = true
+			qi.msg = msg
+			qi.hop = hop
+			ms := &e.msgs[msg]
+			ms.granted[hop] = true
+			ms.queues[hop] = qi
+			free--
+			e.moved = true
+			e.stats.Grants++
+			e.removePending(pid, msg)
+			e.armPool(pid)
+			if hop == 0 {
+				// The sender may already be parked at W(msg) waiting
+				// for exactly this grant.
+				c := int(e.m.sender[msg])
+				code := e.m.code(c)
+				if e.pc[c] < len(code) {
+					if op := code[e.pc[c]]; op.Kind == model.Write && op.Msg == msg {
+						e.noteWriter(msg)
+					}
+				}
+			}
+			if e.recordTimeline {
+				// Record the real link (qi.link), not the pool id:
+				// under DirectionalPools pool ids are synthetic and
+				// release events already use the real link.
+				e.res.Timeline = append(e.res.Timeline, BindEvent{Cycle: e.now, Link: qi.link, QueueIdx: qi.idx, Msg: msg, Bound: true})
+			}
+		}
+	}
+	e.armedSpare = cur[:0]
+}
+
+func (e *exec) removePending(pool int, msg model.MessageID) {
+	lst := e.pending[pool]
+	for i, m := range lst {
+		if m == msg {
+			e.pending[pool] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}
+
+// cellAndTransferPhase performs, in order: receiver reads, interior
+// hop advances (swept from the receiver side so a pipeline advances
+// one hop everywhere in a single cycle), rendezvous transfers for
+// capacity-0 latches, and sender writes. Each cell issues at most one
+// operation per cycle. All four sub-phases iterate live messages in
+// ascending id order; a cell's front op names exactly one message, so
+// this visits the same actions as the reference engine's cell-order
+// scans.
+func (e *exec) cellAndTransferPhase() {
+	for _, c := range e.issuedList {
+		e.issued[c] = false
+	}
+	e.issuedList = e.issuedList[:0]
+	// Snapshot (and compact) the writer set up front: entries added
+	// mid-cycle belong to cells that have already issued, so deferring
+	// them to the next cycle is exactly what the issued-flag check in
+	// the full-scan engine did.
+	cur := e.writerScratch[:0]
+	w := 0
+	for _, id := range e.writers {
+		if e.writeReady[id] {
+			e.writers[w] = id
+			w++
+			cur = append(cur, id)
+		}
+	}
+	e.writers = e.writers[:w]
+	e.writerScratch = cur
+
+	// 1. Receiver reads from buffered last-hop queues. Only messages
+	// with buffered words can serve a read; stale transport entries
+	// (fully drained) compact away here.
+	wt := 0
+	for _, id := range e.transport {
+		if !e.inTransport[id] {
+			continue
+		}
+		ms := &e.msgs[id]
+		if ms.written == ms.read {
+			e.inTransport[id] = false
+			continue
+		}
+		e.transport[wt] = id
+		wt++
+		last := len(ms.queues) - 1
+		if last < 0 || ms.queues[last] == nil {
+			continue
+		}
+		cell := e.m.receiver[id]
+		c := int(cell)
+		code := e.m.code(c)
+		if e.issued[c] || e.pc[c] >= len(code) {
+			continue
+		}
+		op := code[e.pc[c]]
+		if op.Kind != model.Read || op.Msg != id {
+			continue
+		}
+		qi := ms.queues[last]
+		if !qi.q.FrontReady() {
+			continue
+		}
+		word := qi.q.Pop()
+		e.noteCooling(qi)
+		e.logic.OnRead(cell, id, ms.read, word)
+		e.deliver(id, word)
+		ms.read++
+		ms.departed[last]++
+		e.noteMoved(id)
+		e.advancePC(c)
+		e.moved = true
+		e.stats.WordsMoved++
+	}
+	e.transport = e.transport[:wt]
+	// 2. Interior advances, last hop toward receiver first.
+	for _, id := range e.transport {
+		ms := &e.msgs[id]
+		for hop := len(ms.queues) - 2; hop >= 0; hop-- {
+			src, dst := ms.queues[hop], ms.queues[hop+1]
+			if src == nil || dst == nil {
+				continue
+			}
+			if src.q.FrontReady() && dst.q.CanAccept() {
+				dst.q.Push(src.q.Pop())
+				e.noteCooling(src)
+				ms.departed[hop]++
+				e.noteMoved(id)
+				e.noteReqCheck(id)
+				e.moved = true
+				e.stats.WordsMoved++
+			}
+		}
+	}
+	// 3. Capacity-0 rendezvous: single-hop messages hand a word
+	//    directly from a writing sender to a reading receiver.
+	if e.capacity == 0 {
+		e.rendezvous()
+	}
+	// 4. Sender writes into first-hop queues.
+	for _, id := range e.writerScratch {
+		if !e.writeReady[id] {
+			continue
+		}
+		ms := &e.msgs[id]
+		if len(ms.queues) == 0 || ms.queues[0] == nil {
+			e.writeReady[id] = false
+			continue
+		}
+		cell := e.m.sender[id]
+		c := int(cell)
+		code := e.m.code(c)
+		if e.pc[c] >= len(code) {
+			e.writeReady[id] = false
+			continue
+		}
+		op := code[e.pc[c]]
+		if op.Kind != model.Write || op.Msg != id {
+			e.writeReady[id] = false
+			continue
+		}
+		if e.issued[c] {
+			continue
+		}
+		qi := ms.queues[0]
+		if !qi.q.CanAccept() {
+			continue
+		}
+		qi.q.Push(e.logic.Produce(cell, id, ms.written))
+		ms.written++
+		e.noteTransport(id)
+		e.noteReqCheck(id)
+		e.advancePC(c)
+		e.moved = true
+	}
+}
+
+// rendezvous matches W(m) senders with R(m) receivers over bound
+// capacity-0 latches: the word passes through without ever being
+// buffered, the paper's "queues are just latches" regime.
+func (e *exec) rendezvous() {
+	// A rendezvous needs the sender parked at W(id) over a bound
+	// latch — precisely the writer set (capacity 0 admits only
+	// single-hop routes, so every entry here is a latch candidate).
+	for _, id := range e.writerScratch {
+		if !e.writeReady[id] {
+			continue
+		}
+		ms := &e.msgs[id]
+		if len(ms.queues) != 1 || ms.queues[0] == nil {
+			continue
+		}
+		sc, rc := int(e.m.sender[id]), int(e.m.receiver[id])
+		if e.issued[sc] || e.issued[rc] {
+			continue
+		}
+		sCode, rCode := e.m.code(sc), e.m.code(rc)
+		if e.pc[sc] >= len(sCode) || e.pc[rc] >= len(rCode) {
+			continue
+		}
+		sOp, rOp := sCode[e.pc[sc]], rCode[e.pc[rc]]
+		if sOp.Kind != model.Write || sOp.Msg != id {
+			continue
+		}
+		if rOp.Kind != model.Read || rOp.Msg != id {
+			continue
+		}
+		w := e.logic.Produce(e.m.sender[id], id, ms.written)
+		e.logic.OnRead(e.m.receiver[id], id, ms.read, w)
+		e.deliver(id, w)
+		ms.written++
+		ms.read++
+		ms.departed[0]++
+		e.noteMoved(id)
+		e.advancePC(sc)
+		e.advancePC(rc)
+		e.moved = true
+		e.stats.WordsMoved++
+	}
+}
+
+// releasePhase frees queues whose message has fully passed (§2.3: a
+// queue may be reassigned only after the current message's last word
+// has passed it) and retires messages with nothing left bound.
+func (e *exec) releasePhase() {
+	// A queue becomes releasable exactly on the cycle its message's
+	// last word departs it (the queue is empty at that same instant),
+	// so the messages with departure events this cycle are the only
+	// release candidates.
+	slices.Sort(e.movedMsgs)
+	for _, id := range e.movedMsgs {
+		e.movedFlag[id] = false
+		ms := &e.msgs[id]
+		words := e.m.words[id]
+		for hop := range ms.queues {
+			if !ms.granted[hop] || ms.queues[hop] == nil {
+				continue
+			}
+			if ms.departed[hop] == words && ms.queues[hop].q.Empty() {
+				qi := ms.queues[hop]
+				qi.bound = false
+				qi.q.Reset()
+				ms.queues[hop] = nil // keep granted=true: the message had its turn
+				e.stats.Releases++
+				e.armPool(e.poolOf(id, hop))
+				if e.recordTimeline {
+					e.res.Timeline = append(e.res.Timeline, BindEvent{Cycle: e.now, Link: qi.link, QueueIdx: qi.idx, Msg: id, Bound: false})
+				}
+			}
+		}
+	}
+	e.movedMsgs = e.movedMsgs[:0]
+}
+
+// result assembles the run's Result. Blocked-cycle accounting is the
+// closed form of the reference engine's per-cycle counter: a cell is
+// blocked in every cycle it existed unfinished and did not issue.
+func (e *exec) result() Result {
+	e.res.Completed = e.remaining == 0
+	if !e.res.Completed && !e.res.Deadlocked {
+		e.res.TimedOut = true
+	}
+	e.res.Cycles = e.now
+	e.res.Received = e.received
+
+	// Cycles in which the reference engine's accounting ran: every
+	// executed cycle, plus the deadlock cycle itself (its accounting
+	// runs before the stall is declared).
+	accounted := e.now
+	if e.res.Deadlocked {
+		accounted++
+	}
+	cells := e.m.prog.NumCells()
+	blocked := make([]int, cells)
+	for c := 0; c < cells; c++ {
+		n := len(e.m.code(c))
+		if n == 0 {
+			continue
+		}
+		if e.pc[c] >= n {
+			// Unfinished through its final-issue cycle inclusive,
+			// issuing in n of those cycles (the last of which is the
+			// final-issue cycle itself, never counted as blocked).
+			blocked[c] = e.finishedAt[c] + 1 - n
+		} else {
+			blocked[c] = accounted - e.pc[c]
+		}
+	}
+	e.stats.BlockedCycles = blocked
+	e.stats.Cycles = e.now
+	e.stats.Queues = make([]QueueStat, 0, len(e.queues))
+	for i := range e.queues {
+		qi := &e.queues[i]
+		// qi.link is the real link, not the pool id: under
+		// DirectionalPools a link's two pools report under the same
+		// physical link, matching the timeline's attribution.
+		e.stats.Queues = append(e.stats.Queues, QueueStat{Link: qi.link, QueueIdx: qi.idx, Stats: qi.q.Stats()})
+	}
+	e.res.Stats = e.stats
+	return e.res
+}
+
+func (e *exec) blockedReport() []CellBlock {
+	var out []CellBlock
+	for c := 0; c < e.m.prog.NumCells(); c++ {
+		cell := model.CellID(c)
+		code := e.m.code(c)
+		if e.pc[c] >= len(code) {
+			continue
+		}
+		op := code[e.pc[c]]
+		out = append(out, CellBlock{Cell: cell, Op: op, OpIdx: e.pc[c], Reason: e.blockReason(op)})
+	}
+	return out
+}
+
+func (e *exec) blockReason(op model.Op) string {
+	ms := &e.msgs[op.Msg]
+	name := e.m.prog.Message(op.Msg).Name
+	if op.Kind == model.Write {
+		if len(ms.queues) > 0 && !ms.granted[0] {
+			return fmt.Sprintf("no queue bound for %s on its first link", name)
+		}
+		return fmt.Sprintf("queue for %s is full (capacity %d) and the downstream never drains", name, e.capacity)
+	}
+	last := len(ms.queues) - 1
+	if last >= 0 && !ms.granted[last] {
+		return fmt.Sprintf("no queue bound for %s on its last link", name)
+	}
+	return fmt.Sprintf("no word of %s has arrived", name)
+}

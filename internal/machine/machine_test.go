@@ -1,0 +1,220 @@
+package machine
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"systolic/internal/assign"
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// chain builds a two-cell program moving words on one message.
+func chain(t testing.TB, words int) *model.Program {
+	t.Helper()
+	b := model.NewBuilder()
+	c1 := b.AddCell("C1")
+	c2 := b.AddCell("C2")
+	m := b.DeclareMessage("M", c1, c2, words)
+	b.WriteN(c1, m, words)
+	b.ReadN(c2, m, words)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustCompile(t testing.TB, p *model.Program, topo topology.Topology) *Machine {
+	t.Helper()
+	m, err := Compile(p, topo, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func fcfs(queues, capacity int) ExecOptions {
+	return ExecOptions{Policy: assign.Naive(assign.FCFS, 0), QueuesPerLink: queues, Capacity: capacity}
+}
+
+func TestCompileValidation(t *testing.T) {
+	p := chain(t, 2)
+	topo := topology.Linear(2)
+	cases := []struct {
+		name  string
+		check func() error
+	}{
+		{"nil program", func() error { _, err := Compile(nil, topo, nil, nil); return err }},
+		{"nil topology", func() error { _, err := Compile(p, nil, nil, nil); return err }},
+		{"routes mismatch", func() error {
+			_, err := Compile(p, topo, make([][]topology.Hop, 5), nil)
+			return err
+		}},
+		{"labels mismatch", func() error { _, err := Compile(p, topo, nil, []int{1, 2, 3}); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.check()
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v, want *ConfigError", err)
+			}
+		})
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := mustCompile(t, chain(t, 2), topology.Linear(2))
+	bad := []ExecOptions{
+		{QueuesPerLink: 1, Capacity: 1},                                                // nil policy
+		fcfs(0, 1),                                                                     // zero queues
+		fcfs(1, -1),                                                                    // negative capacity
+		{Policy: assign.Naive(assign.FCFS, 0), QueuesPerLink: 1, ExtCapacity: -1},      // negative ext
+		{Policy: assign.Naive(assign.FCFS, 0), QueuesPerLink: 1, ExtPenalty: -1},       // negative penalty
+		{Policy: assign.Naive(assign.FCFS, 0), QueuesPerLink: 1, Capacity: 0, ExtCapacity: 1}, // ext over latch
+	}
+	for i, opts := range bad {
+		if _, err := m.Run(opts); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+// TestMachineReuseAcrossRuns is the compile-once contract: one
+// machine, many runs, each fully independent.
+func TestMachineReuseAcrossRuns(t *testing.T) {
+	m := mustCompile(t, chain(t, 5), topology.Linear(2))
+	var first *Result
+	for i := 0; i < 10; i++ {
+		res, err := m.Run(fcfs(1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("run %d: %s", i, res.Outcome())
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.Cycles != first.Cycles || len(res.Received[0]) != len(first.Received[0]) {
+			t.Fatalf("run %d diverged from run 0", i)
+		}
+	}
+	// Results must not alias each other's buffers across runs.
+	a, err := m.Run(fcfs(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(fcfs(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Received[0][0] = -1
+	if b.Received[0][0] == -1 {
+		t.Fatal("results share received-word buffers")
+	}
+}
+
+// TestMachineConcurrentRuns drives one compiled machine from many
+// goroutines — the sweep engine's usage — under differing options,
+// with Reset firing concurrently (documented as safe: in-flight runs
+// keep the pool they started with).
+func TestMachineConcurrentRuns(t *testing.T) {
+	m := mustCompile(t, chain(t, 8), topology.Linear(2))
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				res, err := m.Run(fcfs(1+g%2, 1+i%3))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Completed {
+					errs <- errors.New(res.Outcome())
+					return
+				}
+				if g == 0 {
+					m.Reset()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineResetKeepsWorking(t *testing.T) {
+	m := mustCompile(t, chain(t, 3), topology.Linear(2))
+	if _, err := m.Run(fcfs(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	res, err := m.Run(fcfs(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("after Reset: %s", res.Outcome())
+	}
+}
+
+// TestMaxCyclesForOverflowGuard: pathological words × hops must yield
+// a typed ConfigError, not a silently wrapped (tiny or negative)
+// cycle bound.
+func TestMaxCyclesForOverflowGuard(t *testing.T) {
+	if n, err := maxCyclesFor(100, 10); err != nil || n != 16*101*11+4096 {
+		t.Fatalf("maxCyclesFor(100,10) = %d, %v", n, err)
+	}
+	if n, err := maxCyclesFor(0, 0); err != nil || n != 1<<14 {
+		t.Fatalf("floor: maxCyclesFor(0,0) = %d, %v", n, err)
+	}
+	for _, tc := range [][2]int{
+		{math.MaxInt / 16, 4},
+		{math.MaxInt, math.MaxInt},
+		{1 << 40, 1 << 40},
+		{-1, 3},
+	} {
+		_, err := maxCyclesFor(tc[0], tc[1])
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("maxCyclesFor(%d,%d) err = %v, want *ConfigError", tc[0], tc[1], err)
+		}
+		if ce.Field != "MaxCycles" {
+			t.Fatalf("overflow reported on field %q, want MaxCycles", ce.Field)
+		}
+	}
+}
+
+func TestConfigErrorRendering(t *testing.T) {
+	err := &ConfigError{Field: "QueuesPerLink", Reason: "0 < 1"}
+	if !strings.Contains(err.Error(), "QueuesPerLink") {
+		t.Fatalf("error %q does not name the field", err)
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	p := chain(t, 2)
+	topo := topology.Linear(2)
+	m := mustCompile(t, p, topo)
+	if m.Program() != p {
+		t.Fatal("Program accessor")
+	}
+	if m.Topology() != topo {
+		t.Fatal("Topology accessor")
+	}
+	if len(m.Routes()) != p.NumMessages() {
+		t.Fatal("Routes accessor")
+	}
+}

@@ -1,0 +1,35 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxCyclesFor derives the default cycle bound for a run: generous
+// enough that any live configuration finishes, small enough that a
+// stall is detected promptly. The formula 16·(words+1)·(hops+1)+4096
+// (floored at 2^14) is the one the simulator has always used; the
+// multiplication is guarded so that pathological word counts × route
+// lengths return a typed ConfigError instead of silently wrapping
+// into a tiny or negative bound.
+func maxCyclesFor(words, hops int) (int, error) {
+	const floor = 1 << 14
+	if words < 0 || hops < 0 {
+		return 0, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf("negative work estimate (words=%d, hops=%d)", words, hops)}
+	}
+	if words == math.MaxInt || hops == math.MaxInt {
+		return 0, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf(
+			"derived cycle bound 16·(%d+1)·(%d+1)+4096 overflows int; set MaxCycles explicitly", words, hops)}
+	}
+	w, h := words+1, hops+1
+	// n = 16*w*h + 4096 must fit in int: reject when w > (MaxInt-4096)/(16*h).
+	if w > (math.MaxInt-4096)/16/h {
+		return 0, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf(
+			"derived cycle bound 16·(%d+1)·(%d+1)+4096 overflows int; set MaxCycles explicitly", words, hops)}
+	}
+	n := 16*w*h + 4096
+	if n < floor {
+		n = floor
+	}
+	return n, nil
+}

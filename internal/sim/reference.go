@@ -1,0 +1,648 @@
+package sim
+
+// This file is the original full-scan execution engine, kept verbatim
+// as the differential oracle for the compiled machine
+// (internal/machine): every cycle it scans every cell, queue, and
+// message, which makes it slow but easy to audit against the paper.
+// The engine-equivalence suite (equiv_test.go) replays the fuzz
+// corpus and hundreds of generated scenarios through referenceRun and
+// the machine-backed Run, demanding byte-identical Results. It is not
+// used on any production path.
+
+import (
+	"fmt"
+	"sync"
+
+	"systolic/internal/assign"
+	"systolic/internal/model"
+	"systolic/internal/queue"
+	"systolic/internal/topology"
+)
+
+// queueInst is one physical queue in a link's pool.
+type queueInst struct {
+	link topology.LinkID // real link, for reporting
+	idx  int
+	q    queue.Queue
+
+	bound bool
+	msg   model.MessageID
+	hop   int // index into the bound message's route
+}
+
+// poolID identifies a queue pool as the policy sees it: the real link
+// id under the shared-pool default, or a synthetic per-direction id
+// (2·link, 2·link+1) under DirectionalPools. Policies treat pool ids
+// opaquely, so the synthetic encoding stays internal to the runner.
+type poolID = topology.LinkID
+
+// msgState tracks one message's transport progress.
+type msgState struct {
+	route     []topology.Hop
+	queues    []*queueInst // per hop; nil until granted
+	granted   []bool
+	requested []bool
+	departed  []int // words that have left hop i (last hop: read by receiver)
+	written   int   // words pushed by the sender
+	read      int   // words consumed by the receiver
+}
+
+// runner holds all mutable simulation state. Everything below the
+// "reusable scratch" marker survives between runs inside runnerPool so
+// repeated Run calls (parameter sweeps) stop re-allocating; anything
+// that escapes into the returned Result is allocated fresh per run.
+type runner struct {
+	p      *model.Program
+	cfg    Config
+	logic  CellLogic
+	routes [][]topology.Hop
+	links  []topology.Link
+
+	// Reusable scratch, sized in setup and pooled across runs.
+	numPools int
+	queues   []queueInst         // pool p occupies [p*Q : (p+1)*Q]
+	pending  [][]model.MessageID // per pool, outstanding requests
+	msgs     []msgState
+	hopQ     []*queueInst // flat backing for msgState.queues
+	hopFlags []bool       // flat backing for granted + requested
+	hopInts  []int        // flat backing for departed
+	pc       []int
+	issued   []bool
+
+	received [][]Word // escapes into Result; fresh per run
+
+	res   Result
+	stats Stats
+	now   int
+	moved bool // any event this cycle
+}
+
+// runnerPool recycles runner scratch state between runs. Run copies the
+// Result out and clears every escaping reference before returning a
+// runner to the pool.
+var runnerPool = sync.Pool{New: func() any { return new(runner) }}
+
+// grow returns s resized to n, reusing its backing array when large
+// enough. Contents are unspecified; callers clear what they need.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// pool returns the queue instances of pool p.
+func (r *runner) pool(p poolID) []queueInst {
+	q := r.cfg.QueuesPerLink
+	return r.queues[int(p)*q : (int(p)+1)*q]
+}
+
+// poolOf maps a route hop to the pool that serves it.
+func (r *runner) poolOf(h topology.Hop) poolID {
+	if !r.cfg.DirectionalPools {
+		return h.Link
+	}
+	dir := poolID(0)
+	if h.From != r.links[h.Link].A {
+		dir = 1
+	}
+	return 2*h.Link + dir
+}
+
+// referenceRun simulates the program with the original full-scan
+// engine: the differential oracle the compiled machine is checked
+// against. Semantics are identical to Run's by construction — and by
+// the equivalence suite.
+func referenceRun(p *model.Program, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, &ConfigError{Field: "Program", Reason: "nil program"}
+	}
+	if cfg.Topology == nil {
+		return nil, &ConfigError{Field: "Topology", Reason: "nil topology"}
+	}
+	if cfg.Policy == nil {
+		return nil, &ConfigError{Field: "Policy", Reason: "nil policy"}
+	}
+	if cfg.QueuesPerLink < 1 {
+		return nil, &ConfigError{Field: "QueuesPerLink", Reason: fmt.Sprintf("%d < 1 (every link needs at least one queue, §2.3)", cfg.QueuesPerLink)}
+	}
+	if cfg.Capacity < 0 {
+		return nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", cfg.Capacity)}
+	}
+	if cfg.ExtCapacity < 0 {
+		return nil, &ConfigError{Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", cfg.ExtCapacity)}
+	}
+	if cfg.ExtPenalty < 0 {
+		return nil, &ConfigError{Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", cfg.ExtPenalty)}
+	}
+	routes := cfg.Routes
+	if routes == nil {
+		var err error
+		routes, err = topology.Routes(p, cfg.Topology)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(routes) != p.NumMessages() {
+		return nil, &ConfigError{Field: "Routes", Reason: fmt.Sprintf("%d entries for %d messages", len(routes), p.NumMessages())}
+	}
+	if cfg.Capacity == 0 {
+		for id, rt := range routes {
+			if len(rt) > 1 {
+				return nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf(
+					"capacity 0 (latch) supports single-hop routes only; message %s crosses %d links",
+					p.Message(model.MessageID(id)).Name, len(rt))}
+			}
+		}
+		if cfg.ExtCapacity > 0 {
+			return nil, &ConfigError{Field: "ExtCapacity", Reason: "queue extension requires base capacity ≥ 1"}
+		}
+	}
+	logic := cfg.Logic
+	if logic == nil {
+		logic = SyntheticLogic{}
+	}
+
+	r := runnerPool.Get().(*runner)
+	r.p, r.cfg, r.logic, r.routes, r.links = p, cfg, logic, routes, cfg.Topology.Links()
+	r.setup()
+
+	// Competing sets are keyed by pool: the whole link under the
+	// shared-pool default, per direction under DirectionalPools.
+	competing := make(map[topology.LinkID][]model.MessageID)
+	for id, route := range routes {
+		for _, h := range route {
+			key := r.poolOf(h)
+			competing[key] = append(competing[key], model.MessageID(id))
+		}
+	}
+	ctx := &assign.Context{
+		Program:       p,
+		Routes:        routes,
+		Competing:     competing,
+		Labels:        cfg.Labels,
+		QueuesPerLink: cfg.QueuesPerLink,
+	}
+	if err := cfg.Policy.Setup(ctx); err != nil {
+		r.release()
+		return nil, err
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles(p, routes)
+	}
+	for r.now = 0; r.now < maxCycles; r.now++ {
+		if r.done() {
+			break
+		}
+		r.moved = false
+		r.tickQueues()
+		r.collectRequests()
+		r.grantPhase()
+		r.cellAndTransferPhase()
+		r.releasePhase()
+		r.accountBlocked()
+		if !r.moved && !r.anyCooling() {
+			r.res.Deadlocked = true
+			r.res.Blocked = r.blockedReport()
+			break
+		}
+	}
+	r.res.Completed = r.done()
+	if !r.res.Completed && !r.res.Deadlocked {
+		r.res.TimedOut = true
+	}
+	r.res.Cycles = r.now
+	r.res.Received = r.received
+	r.stats.Cycles = r.now
+	r.stats.Queues = make([]QueueStat, 0, len(r.queues))
+	for i := range r.queues {
+		qi := &r.queues[i]
+		// qi.link is the real link, not the pool id: under
+		// DirectionalPools a link's two pools report under the same
+		// physical link, matching the timeline's attribution.
+		r.stats.Queues = append(r.stats.Queues, QueueStat{Link: qi.link, QueueIdx: qi.idx, Stats: qi.q.Stats()})
+	}
+	r.res.Stats = r.stats
+	out := new(Result)
+	*out = r.res
+	r.release()
+	return out, nil
+}
+
+// release clears every reference that escaped into the returned Result
+// (and the per-run inputs) and returns the runner's scratch to the
+// pool for the next Run.
+func (r *runner) release() {
+	r.p, r.logic, r.routes, r.links = nil, nil, nil, nil
+	r.cfg = Config{}
+	r.received = nil
+	r.res = Result{}
+	r.stats = Stats{}
+	for i := range r.msgs {
+		r.msgs[i].route = nil
+	}
+	runnerPool.Put(r)
+}
+
+func defaultMaxCycles(p *model.Program, routes [][]topology.Hop) int {
+	words, hops := 0, 0
+	for _, m := range p.Messages() {
+		words += m.Words
+		hops += len(routes[m.ID])
+	}
+	n := 16*(words+1)*(hops+1) + 4096
+	if n < 1<<14 {
+		n = 1 << 14
+	}
+	return n
+}
+
+// setup sizes the runner's scratch for the current program and
+// configuration, reusing pooled backing arrays where they are large
+// enough. Link and pool ids are dense, so pools live in one flat slice
+// (pool p at [p*Q:(p+1)*Q]) in ascending pool-id order, and each
+// message's per-hop state is a window into shared flat arrays.
+func (r *runner) setup() {
+	p, cfg := r.p, r.cfg
+	r.numPools = len(r.links)
+	if cfg.DirectionalPools {
+		r.numPools *= 2
+	}
+	r.queues = grow(r.queues, r.numPools*cfg.QueuesPerLink)
+	for i := range r.queues {
+		qi := &r.queues[i]
+		pool := i / cfg.QueuesPerLink
+		realLink := topology.LinkID(pool)
+		if cfg.DirectionalPools {
+			realLink = topology.LinkID(pool / 2)
+		}
+		qi.link = realLink
+		// idx identifies the queue within its *link* for reporting:
+		// with directional pools the link's two pools are contiguous
+		// (forward 0..Q-1, reverse Q..2Q-1), keeping (link, idx)
+		// unique in timelines and stats.
+		qi.idx = i % cfg.QueuesPerLink
+		if cfg.DirectionalPools {
+			qi.idx = i % (2 * cfg.QueuesPerLink)
+		}
+		qi.bound = false
+		qi.msg = 0
+		qi.hop = 0
+		qi.q.Init(cfg.Capacity, cfg.ExtCapacity, cfg.ExtPenalty)
+	}
+	r.pending = grow(r.pending, r.numPools)
+	for i := range r.pending {
+		r.pending[i] = r.pending[i][:0]
+	}
+	totalHops := 0
+	for _, rt := range r.routes {
+		totalHops += len(rt)
+	}
+	r.hopQ = grow(r.hopQ, totalHops)
+	r.hopFlags = grow(r.hopFlags, 2*totalHops)
+	r.hopInts = grow(r.hopInts, totalHops)
+	clear(r.hopQ)
+	clear(r.hopFlags)
+	clear(r.hopInts)
+	r.msgs = grow(r.msgs, p.NumMessages())
+	off := 0
+	for id := range r.msgs {
+		rt := r.routes[id]
+		n := len(rt)
+		r.msgs[id] = msgState{
+			route:     rt,
+			queues:    r.hopQ[off : off+n : off+n],
+			granted:   r.hopFlags[off : off+n : off+n],
+			requested: r.hopFlags[totalHops+off : totalHops+off+n : totalHops+off+n],
+			departed:  r.hopInts[off : off+n : off+n],
+		}
+		off += n
+	}
+	r.pc = grow(r.pc, p.NumCells())
+	r.issued = grow(r.issued, p.NumCells())
+	clear(r.pc)
+	clear(r.issued)
+	r.received = make([][]Word, p.NumMessages())
+	r.stats.BlockedCycles = make([]int, p.NumCells())
+}
+
+func (r *runner) done() bool {
+	for c := 0; c < r.p.NumCells(); c++ {
+		if r.pc[c] < len(r.p.Code(model.CellID(c))) {
+			return false
+		}
+	}
+	return true
+}
+
+// anyCooling reports whether some queue is waiting out an
+// extension-access penalty; such cycles are latency, not deadlock.
+func (r *runner) anyCooling() bool {
+	for i := range r.queues {
+		if r.queues[i].q.Cooling() {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *runner) tickQueues() {
+	for i := range r.queues {
+		r.queues[i].q.Tick()
+	}
+}
+
+// collectRequests registers queue requests: a message asks for its
+// first hop when its sender reaches a W on it, and for hop i>0 when its
+// header is buffered at the cell feeding that hop (§5: "when the
+// header of a message arrives at a cell").
+func (r *runner) collectRequests() {
+	for c := 0; c < r.p.NumCells(); c++ {
+		code := r.p.Code(model.CellID(c))
+		if r.pc[c] >= len(code) {
+			continue
+		}
+		op := code[r.pc[c]]
+		if op.Kind != model.Write {
+			continue
+		}
+		ms := &r.msgs[op.Msg]
+		if len(ms.route) > 0 && !ms.requested[0] {
+			ms.requested[0] = true
+			pool := r.poolOf(ms.route[0])
+			r.pending[pool] = append(r.pending[pool], op.Msg)
+		}
+	}
+	for id := range r.msgs {
+		ms := &r.msgs[id]
+		for hop := 1; hop < len(ms.route); hop++ {
+			if ms.requested[hop] || ms.queues[hop-1] == nil {
+				continue
+			}
+			if ms.queues[hop-1].q.Len() > 0 {
+				ms.requested[hop] = true
+				pool := r.poolOf(ms.route[hop])
+				r.pending[pool] = append(r.pending[pool], model.MessageID(id))
+			}
+		}
+	}
+}
+
+// hopOn returns the route hop of msg served by pool link, or -1. A
+// shortest-path route crosses each link (and so each pool) at most
+// once, and routes are short, so a linear scan beats the per-run map
+// the runner used to build.
+func (r *runner) hopOn(link poolID, msg model.MessageID) int {
+	for hop, h := range r.msgs[msg].route {
+		if r.poolOf(h) == link {
+			return hop
+		}
+	}
+	return -1
+}
+
+func (r *runner) grantPhase() {
+	for link := poolID(0); int(link) < r.numPools; link++ {
+		pool := r.pool(link)
+		free := 0
+		for i := range pool {
+			if !pool[i].bound {
+				free++
+			}
+		}
+		grants := r.cfg.Policy.Grant(r.now, link, free, r.pending[link])
+		for _, msg := range grants {
+			if free == 0 {
+				break // policy over-granted; ignore the excess
+			}
+			hop := r.hopOn(link, msg)
+			if hop < 0 || r.msgs[msg].granted[hop] {
+				continue
+			}
+			var qi *queueInst
+			for i := range pool {
+				if !pool[i].bound {
+					qi = &pool[i]
+					break
+				}
+			}
+			qi.bound = true
+			qi.msg = msg
+			qi.hop = hop
+			ms := &r.msgs[msg]
+			ms.granted[hop] = true
+			ms.queues[hop] = qi
+			free--
+			r.moved = true
+			r.stats.Grants++
+			r.removePending(link, msg)
+			if r.cfg.RecordTimeline {
+				// Record the real link (qi.link), not the pool id:
+				// under DirectionalPools pool ids are synthetic and
+				// release events already use the real link.
+				r.res.Timeline = append(r.res.Timeline, BindEvent{Cycle: r.now, Link: qi.link, QueueIdx: qi.idx, Msg: msg, Bound: true})
+			}
+		}
+	}
+}
+
+func (r *runner) removePending(link poolID, msg model.MessageID) {
+	lst := r.pending[link]
+	for i, m := range lst {
+		if m == msg {
+			r.pending[link] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}
+
+// cellAndTransferPhase performs, in order: receiver reads, interior
+// hop advances (swept from the receiver side so a pipeline advances
+// one hop everywhere in a single cycle), rendezvous transfers for
+// capacity-0 latches, and sender writes. Each cell issues at most one
+// operation per cycle.
+func (r *runner) cellAndTransferPhase() {
+	for c := range r.issued {
+		r.issued[c] = false
+	}
+	// 1. Receiver reads from buffered last-hop queues.
+	for c := 0; c < r.p.NumCells(); c++ {
+		cell := model.CellID(c)
+		code := r.p.Code(cell)
+		if r.issued[c] || r.pc[c] >= len(code) {
+			continue
+		}
+		op := code[r.pc[c]]
+		if op.Kind != model.Read {
+			continue
+		}
+		ms := &r.msgs[op.Msg]
+		last := len(ms.route) - 1
+		if last < 0 || ms.queues[last] == nil {
+			continue
+		}
+		qi := ms.queues[last]
+		if !qi.q.FrontReady() {
+			continue
+		}
+		w := qi.q.Pop()
+		r.logic.OnRead(cell, op.Msg, ms.read, w)
+		r.received[op.Msg] = append(r.received[op.Msg], w)
+		ms.read++
+		ms.departed[last]++
+		r.pc[c]++
+		r.issued[c] = true
+		r.moved = true
+		r.stats.WordsMoved++
+	}
+	// 2. Interior advances, last hop toward receiver first.
+	for id := range r.msgs {
+		ms := &r.msgs[id]
+		for hop := len(ms.route) - 2; hop >= 0; hop-- {
+			src, dst := ms.queues[hop], ms.queues[hop+1]
+			if src == nil || dst == nil {
+				continue
+			}
+			if src.q.FrontReady() && dst.q.CanAccept() {
+				dst.q.Push(src.q.Pop())
+				ms.departed[hop]++
+				r.moved = true
+				r.stats.WordsMoved++
+			}
+		}
+	}
+	// 3. Capacity-0 rendezvous: single-hop messages hand a word
+	//    directly from a writing sender to a reading receiver.
+	if r.cfg.Capacity == 0 {
+		r.rendezvous()
+	}
+	// 4. Sender writes into first-hop queues.
+	for c := 0; c < r.p.NumCells(); c++ {
+		cell := model.CellID(c)
+		code := r.p.Code(cell)
+		if r.issued[c] || r.pc[c] >= len(code) {
+			continue
+		}
+		op := code[r.pc[c]]
+		if op.Kind != model.Write {
+			continue
+		}
+		ms := &r.msgs[op.Msg]
+		if len(ms.route) == 0 || ms.queues[0] == nil {
+			continue
+		}
+		qi := ms.queues[0]
+		if !qi.q.CanAccept() {
+			continue
+		}
+		qi.q.Push(r.logic.Produce(cell, op.Msg, ms.written))
+		ms.written++
+		r.pc[c]++
+		r.issued[c] = true
+		r.moved = true
+	}
+}
+
+// rendezvous matches W(m) senders with R(m) receivers over bound
+// capacity-0 latches: the word passes through without ever being
+// buffered, the paper's "queues are just latches" regime.
+func (r *runner) rendezvous() {
+	for id := range r.msgs {
+		ms := &r.msgs[id]
+		if len(ms.route) != 1 || ms.queues[0] == nil {
+			continue
+		}
+		m := r.p.Message(model.MessageID(id))
+		sc, rc := int(m.Sender), int(m.Receiver)
+		if r.issued[sc] || r.issued[rc] {
+			continue
+		}
+		sCode, rCode := r.p.Code(m.Sender), r.p.Code(m.Receiver)
+		if r.pc[sc] >= len(sCode) || r.pc[rc] >= len(rCode) {
+			continue
+		}
+		sOp, rOp := sCode[r.pc[sc]], rCode[r.pc[rc]]
+		if sOp.Kind != model.Write || sOp.Msg != model.MessageID(id) {
+			continue
+		}
+		if rOp.Kind != model.Read || rOp.Msg != model.MessageID(id) {
+			continue
+		}
+		w := r.logic.Produce(m.Sender, m.ID, ms.written)
+		r.logic.OnRead(m.Receiver, m.ID, ms.read, w)
+		r.received[m.ID] = append(r.received[m.ID], w)
+		ms.written++
+		ms.read++
+		ms.departed[0]++
+		r.pc[sc]++
+		r.pc[rc]++
+		r.issued[sc] = true
+		r.issued[rc] = true
+		r.moved = true
+		r.stats.WordsMoved++
+	}
+}
+
+// releasePhase frees queues whose message has fully passed (§2.3: a
+// queue may be reassigned only after the current message's last word
+// has passed it).
+func (r *runner) releasePhase() {
+	for id := range r.msgs {
+		ms := &r.msgs[id]
+		m := r.p.Message(model.MessageID(id))
+		for hop := range ms.route {
+			if !ms.granted[hop] || ms.queues[hop] == nil {
+				continue
+			}
+			if ms.departed[hop] == m.Words && ms.queues[hop].q.Empty() {
+				qi := ms.queues[hop]
+				qi.bound = false
+				qi.q.Reset()
+				ms.queues[hop] = nil // keep granted=true: the message had its turn
+				r.stats.Releases++
+				if r.cfg.RecordTimeline {
+					r.res.Timeline = append(r.res.Timeline, BindEvent{Cycle: r.now, Link: qi.link, QueueIdx: qi.idx, Msg: model.MessageID(id), Bound: false})
+				}
+			}
+		}
+	}
+}
+
+func (r *runner) accountBlocked() {
+	for c := 0; c < r.p.NumCells(); c++ {
+		if !r.issued[c] && r.pc[c] < len(r.p.Code(model.CellID(c))) {
+			r.stats.BlockedCycles[c]++
+		}
+	}
+}
+
+func (r *runner) blockedReport() []CellBlock {
+	var out []CellBlock
+	for c := 0; c < r.p.NumCells(); c++ {
+		cell := model.CellID(c)
+		code := r.p.Code(cell)
+		if r.pc[c] >= len(code) {
+			continue
+		}
+		op := code[r.pc[c]]
+		out = append(out, CellBlock{Cell: cell, Op: op, OpIdx: r.pc[c], Reason: r.blockReason(cell, op)})
+	}
+	return out
+}
+
+func (r *runner) blockReason(cell model.CellID, op model.Op) string {
+	ms := &r.msgs[op.Msg]
+	name := r.p.Message(op.Msg).Name
+	if op.Kind == model.Write {
+		if len(ms.route) > 0 && !ms.granted[0] {
+			return fmt.Sprintf("no queue bound for %s on its first link", name)
+		}
+		return fmt.Sprintf("queue for %s is full (capacity %d) and the downstream never drains", name, r.cfg.Capacity)
+	}
+	last := len(ms.route) - 1
+	if last >= 0 && !ms.granted[last] {
+		return fmt.Sprintf("no queue bound for %s on its last link", name)
+	}
+	return fmt.Sprintf("no word of %s has arrived", name)
+}

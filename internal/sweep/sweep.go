@@ -231,38 +231,19 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 		}
 	}
 
-	// One analysis per (case, lookahead): it is shared by every
-	// policy, queue budget, and capacity (capacity only affects the
-	// analysis via the derived R2 budget, which the sweep always
-	// overrides with its explicit lookahead axis), and computing it
-	// once up front keeps the workers pure simulation.
-	type akey struct{ caseIdx, lookahead int }
-	analyses := make(map[akey]*core.Analysis)
-	analysisErrs := make(map[akey]error)
+	cache := newAnalysisCache(cases)
 	for _, cfg := range configs {
-		k := akey{cfg.Case, cfg.Lookahead}
-		if _, seen := analyses[k]; seen {
-			continue
-		}
-		if _, seen := analysisErrs[k]; seen {
-			continue
-		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		a, err := analyze(cases[cfg.Case], cfg.Lookahead)
-		if err != nil {
-			analysisErrs[k] = err
-			continue
-		}
-		analyses[k] = a
+		cache.warm(cfg.Case, cfg.Lookahead)
 	}
 
 	outcomes := make([]Outcome, len(configs))
 	if err := ForEach(ctx, len(configs), opts.Workers, func(i int) {
 		cfg := configs[i]
-		k := akey{cfg.Case, cfg.Lookahead}
-		outcomes[i] = runOne(cases[cfg.Case], cfg, analyses[k], analysisErrs[k], opts)
+		a, aerr := cache.get(cfg.Case, cfg.Lookahead)
+		outcomes[i] = runOne(cases[cfg.Case], cfg, a, aerr, opts)
 	}); err != nil {
 		return nil, err
 	}
@@ -272,6 +253,63 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 		names[i] = c.Name
 	}
 	return &Report{Cases: names, Outcomes: outcomes}, nil
+}
+
+// akey is the memoization key: the analysis (routes, labels, queue
+// requirements) and its compiled machine depend only on the case and
+// the lookahead budget — the policy, queue, and capacity axes all
+// share one compile. (Capacity affects analysis only through the
+// derived R2 budget, which the sweep's explicit lookahead axis always
+// overrides.)
+type akey struct{ caseIdx, lookahead int }
+
+// analysisCache memoizes Analyze per (case, lookahead) and pre-warms
+// each analysis' compiled machine, so the worker pool runs the entire
+// grid as pure simulation: zero route computations, zero labelings,
+// zero machine compiles per grid point.
+type analysisCache struct {
+	cases    []Case
+	analyses map[akey]*core.Analysis
+	errs     map[akey]error
+}
+
+func newAnalysisCache(cases []Case) *analysisCache {
+	return &analysisCache{
+		cases:    cases,
+		analyses: make(map[akey]*core.Analysis),
+		errs:     make(map[akey]error),
+	}
+}
+
+// warm computes and caches the analysis for one key, compiling its
+// machine eagerly so concurrent workers never race to compile. It is
+// not safe for concurrent use; Run warms the whole grid up front.
+func (c *analysisCache) warm(caseIdx, lookahead int) {
+	k := akey{caseIdx, lookahead}
+	if _, seen := c.analyses[k]; seen {
+		return
+	}
+	if _, seen := c.errs[k]; seen {
+		return
+	}
+	a, err := analyze(c.cases[caseIdx], lookahead)
+	if err != nil {
+		c.errs[k] = err
+		return
+	}
+	if a.DeadlockFree {
+		// Compile once here rather than lazily under the first
+		// worker; a compile failure surfaces per grid point via
+		// Execute exactly as before.
+		_, _ = a.Machine()
+	}
+	c.analyses[k] = a
+}
+
+// get returns the cached analysis or error for a key.
+func (c *analysisCache) get(caseIdx, lookahead int) (*core.Analysis, error) {
+	k := akey{caseIdx, lookahead}
+	return c.analyses[k], c.errs[k]
 }
 
 // analyze runs the compile-time pipeline for one (case, lookahead)

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"systolic/internal/core"
+	"systolic/internal/model"
+	"systolic/internal/topology"
 	"systolic/internal/workload"
 )
 
@@ -164,5 +166,59 @@ func TestValidation(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), []Case{{Name: "nil"}}, Axes{}, Options{}); err == nil {
 		t.Error("nil program accepted")
+	}
+}
+
+// countingTopology wraps a Topology and counts Route invocations —
+// every analysis pass routes each message, so the count exposes how
+// many times Analyze ran behind a sweep.
+type countingTopology struct {
+	topology.Topology
+	calls *int
+}
+
+func (c countingTopology) Route(from, to model.CellID) ([]topology.Hop, error) {
+	*c.calls++
+	return c.Topology.Route(from, to)
+}
+
+// TestAnalysisMemoizedAcrossGrid: growing the policy × queues ×
+// capacity axes must not grow the number of Analyze passes (and hence
+// machine compiles) — one per (case, lookahead), shared by the whole
+// grid.
+func TestAnalysisMemoizedAcrossGrid(t *testing.T) {
+	countCalls := func(axes Axes) int {
+		calls := 0
+		f7 := workload.Fig7(workload.Fig7Options{})
+		cases := []Case{{
+			Name:     "fig7",
+			Program:  f7.Program,
+			Topology: countingTopology{Topology: f7.Topology, calls: &calls},
+		}}
+		if _, err := Run(context.Background(), cases, axes, Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return calls
+	}
+	lookaheads := []int{0, 2}
+	small := countCalls(Axes{
+		Policies:   []core.PolicyKind{core.NaiveFCFS},
+		Queues:     []int{1},
+		Capacities: []int{1},
+		Lookaheads: lookaheads,
+		Seed:       1,
+	})
+	large := countCalls(Axes{
+		Policies:   []core.PolicyKind{core.NaiveFCFS, core.StaticAssignment, core.DynamicCompatible},
+		Queues:     []int{0, 1, 2, 3},
+		Capacities: []int{1, 2, 4},
+		Lookaheads: lookaheads,
+		Seed:       1,
+	})
+	if small == 0 {
+		t.Fatal("counting topology never consulted")
+	}
+	if large != small {
+		t.Fatalf("route computations grew with the grid: %d (1-point axes) vs %d (36-point axes); analysis not memoized", small, large)
 	}
 }

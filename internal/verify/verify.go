@@ -37,6 +37,13 @@ func CheckPreconditions(p *model.Program, t topology.Topology, dense []int, queu
 	if err != nil {
 		return PreconditionReport{}, err
 	}
+	return CheckPreconditionsRoutes(routes, dense, queuesPerLink), nil
+}
+
+// CheckPreconditionsRoutes is CheckPreconditions over precomputed
+// routes, for pipelines (core.Analyze) that have already routed the
+// program and should not pay for routing twice.
+func CheckPreconditionsRoutes(routes [][]topology.Hop, dense []int, queuesPerLink int) PreconditionReport {
 	var rep PreconditionReport
 	for link, msgs := range topology.Competing(routes) {
 		if len(msgs) > rep.MaxCompeting {
@@ -57,7 +64,7 @@ func CheckPreconditions(p *model.Program, t topology.Topology, dense []int, queu
 			}
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 // RandomOptions shapes random program generation.

@@ -202,7 +202,22 @@ func Analyze(p *Program, t Topology, opts AnalyzeOptions) (*Analysis, error) {
 // Execute simulates an analyzed program under a policy; with the
 // default DynamicCompatible policy and Analyze-approved queue counts,
 // Theorem 1 guarantees completion.
+//
+// Execution runs on a compiled machine (internal/machine) that is
+// built once per Analysis and cached on it: the first Execute pays
+// the compile, every later Execute on the same Analysis — any policy,
+// queue budget, capacity, or logic — is pure simulation. That is what
+// makes grid runs (Sweep, the differential oracle) cheap.
 func Execute(a *Analysis, opts ExecOptions) (*RunResult, error) { return core.Execute(a, opts) }
+
+// Precompile forces the analysis' execution machine to compile now
+// instead of lazily on the first Execute — useful to front-load the
+// cost before a latency-sensitive run loop, or to surface a
+// compilation error early. Execute calls it implicitly.
+func Precompile(a *Analysis) error {
+	_, err := a.Machine()
+	return err
+}
 
 // Simulate exposes the raw simulator for callers assembling their own
 // policies.
