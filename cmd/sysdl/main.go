@@ -1,5 +1,5 @@
-// Command sysdl analyzes and runs systolic programs written in the DSL
-// (see internal/dsl for the grammar):
+// Command sysdl analyzes, runs, and serves systolic programs written
+// in the DSL (see docs/DSL.md for the grammar reference):
 //
 //	sysdl check  prog.sys            # deadlock-free? (strict and lookahead)
 //	sysdl label  prog.sys            # §6 consistent labeling
@@ -8,6 +8,7 @@
 //	sysdl render prog.sys            # program table + routes
 //	sysdl sweep  prog.sys [flags]    # run a grid of configurations
 //	sysdl fuzz   [flags]             # differential oracle over generated programs
+//	sysdl serve  [flags]             # HTTP simulation service with machine cache
 //
 // FILE may be '-' for stdin. Flags for run: -queues N -capacity N
 // -policy compatible|static|fcfs|lifo|random|adversarial -seed N
@@ -23,32 +24,82 @@
 // the Theorem 1 bound and watch the predicted deadlocks appear; any
 // reported seed replays with -n 1 -seed S.
 //
+// serve also takes no FILE: it starts the HTTP/JSON daemon
+// (-addr HOST:PORT -cache-size N -max-concurrency N) documented in
+// docs/API.md and shuts down gracefully on SIGINT/SIGTERM.
+//
 // Every verb accepts -cpuprofile FILE and -memprofile FILE, which
 // write pprof profiles covering the whole command for `go tool
 // pprof`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"systolic/internal/cli"
 )
 
+// verbs enumerates every subcommand with its one-line summary, in
+// display order. needsFile marks verbs that read a DSL FILE argument.
+var verbs = []struct {
+	name      string
+	summary   string
+	needsFile bool
+}{
+	{"check", "classify a program: deadlock-free or not (strict and §8 lookahead)", true},
+	{"label", "print the §6 consistent message labeling", true},
+	{"plan", "print Theorem 1's queues-per-link requirements", true},
+	{"run", "simulate under a policy/queues/capacity configuration", true},
+	{"render", "print the program table and message routes", true},
+	{"sweep", "run a grid of configurations across a worker pool", true},
+	{"fuzz", "differential oracle over generated random programs", false},
+	{"serve", "HTTP simulation service with a compiled-machine cache", false},
+}
+
+func findVerb(name string) (int, bool) {
+	for i, v := range verbs {
+		if v.name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 func main() {
 	if len(os.Args) < 2 {
-		usage()
+		usage(os.Stderr)
+		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	switch cmd {
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+		return
+	}
+	vi, known := findVerb(cmd)
+	if !known {
+		fmt.Fprintf(os.Stderr, "sysdl: unknown verb %q\n", cmd)
+		if near := closestVerb(cmd); near != "" {
+			fmt.Fprintf(os.Stderr, "did you mean 'sysdl %s'?\n", near)
+		}
+		fmt.Fprintln(os.Stderr)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
 
-	// fuzz generates its own programs — no FILE argument.
 	var path string
 	args := os.Args[2:]
-	if cmd != "fuzz" {
+	if verbs[vi].needsFile {
 		if len(os.Args) < 3 {
-			usage()
+			fmt.Fprintf(os.Stderr, "sysdl: %s needs a FILE argument ('-' = stdin)\n\n", cmd)
+			usage(os.Stderr)
+			os.Exit(2)
 		}
 		path = os.Args[2]
 		args = os.Args[3:]
@@ -58,14 +109,16 @@ func main() {
 	fs := flag.NewFlagSet("sysdl "+cmd, flag.ExitOnError)
 	opts.BindFlags(fs)
 	_ = fs.Parse(args)
-	if cmd == "fuzz" {
+	if !verbs[vi].needsFile {
 		// Flag parsing stops at the first non-flag argument, so a
 		// stray FILE (or any trailing word) would silently swallow
-		// every flag after it — refuse instead of fuzzing defaults.
+		// every flag after it — refuse instead of running defaults.
 		if fs.NArg() > 0 {
-			fmt.Fprintf(os.Stderr, "sysdl: fuzz takes no FILE argument (got %q); flags after it were not parsed\n", fs.Arg(0))
+			fmt.Fprintf(os.Stderr, "sysdl: %s takes no FILE argument (got %q); flags after it were not parsed\n", cmd, fs.Arg(0))
 			os.Exit(2)
 		}
+	}
+	if cmd == "fuzz" {
 		// Refuse flags fuzz accepts syntactically but does not use, so
 		// e.g. -lookahead is not mistaken for -fuzz-lookahead.
 		ignored := map[string]string{
@@ -90,7 +143,7 @@ func main() {
 	}
 
 	var src string
-	if cmd != "fuzz" {
+	if verbs[vi].needsFile {
 		var err error
 		src, err = readSource(path)
 		if err != nil {
@@ -103,7 +156,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sysdl:", err)
 		os.Exit(1)
 	}
-	code, err := cli.Sysdl(os.Stdout, cmd, src, opts)
+	var code int
+	if cmd == "serve" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		code, err = cli.Serve(ctx, os.Stdout, opts)
+		stop()
+	} else {
+		code, err = cli.Sysdl(os.Stdout, cmd, src, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sysdl:", err)
 	}
@@ -125,8 +185,50 @@ func readSource(path string) (string, error) {
 	return string(b), err
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sysdl check|label|plan|run|render|sweep FILE [flags]  (FILE '-' = stdin)")
-	fmt.Fprintln(os.Stderr, "       sysdl fuzz [-n N -seed S -queues Q ...]               (differential oracle)")
-	os.Exit(2)
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: sysdl VERB [FILE] [flags]   (FILE '-' = stdin; fuzz and serve take no FILE)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "verbs:")
+	for _, v := range verbs {
+		arg := "FILE"
+		if !v.needsFile {
+			arg = "    "
+		}
+		fmt.Fprintf(w, "  %-7s %s  %s\n", v.name, arg, v.summary)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "run 'sysdl VERB -h' for the verb's flags")
+}
+
+// closestVerb suggests the nearest verb by edit distance, when it is
+// near enough to plausibly be a typo.
+func closestVerb(input string) string {
+	best, bestDist := "", 3 // suggest only within distance 2
+	for _, v := range verbs {
+		if d := editDistance(input, v.name); d < bestDist {
+			best, bestDist = v.name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short strings.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }

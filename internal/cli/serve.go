@@ -1,0 +1,24 @@
+package cli
+
+import (
+	"context"
+	"io"
+
+	"systolic"
+)
+
+// Serve runs the sysdl serve verb: the HTTP simulation daemon, until
+// ctx is cancelled (the main wires SIGINT/SIGTERM into ctx, so ^C is
+// a graceful shutdown). Log output goes to w.
+func Serve(ctx context.Context, w io.Writer, opts SysdlOptions) (int, error) {
+	err := systolic.Serve(ctx, systolic.ServeOptions{
+		Addr:           opts.Addr,
+		CacheSize:      opts.CacheSize,
+		MaxConcurrency: opts.MaxConcurrency,
+		Log:            w,
+	})
+	if err != nil {
+		return 1, err
+	}
+	return 0, nil
+}

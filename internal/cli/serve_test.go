@@ -1,0 +1,89 @@
+package cli
+
+import (
+	"context"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuf is a concurrency-safe writer the daemon logs into while
+// the test polls it.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestServeVerbLifecycle boots the daemon on an ephemeral port, waits
+// for the listen line, hits /v1/stats over real HTTP, cancels the
+// context (the SIGINT path), and expects a clean exit.
+func TestServeVerbLifecycle(t *testing.T) {
+	opts := DefaultSysdlOptions()
+	opts.Addr = "127.0.0.1:0"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out lockedBuf
+	done := make(chan struct {
+		code int
+		err  error
+	}, 1)
+	go func() {
+		code, err := Serve(ctx, &out, opts)
+		done <- struct {
+			code int
+			err  error
+		}{code, err}
+	}()
+
+	urlRe := regexp.MustCompile(`listening on (http://[^ ]+)`)
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; log so far: %q", out.String())
+		}
+		if m := urlRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case r := <-done:
+		if r.err != nil || r.code != 0 {
+			t.Fatalf("serve exit: code %d err %v", r.code, r.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after cancel")
+	}
+	if !strings.Contains(out.String(), "shut down") {
+		t.Fatalf("no shutdown line in log: %q", out.String())
+	}
+}

@@ -44,6 +44,12 @@ type SysdlOptions struct {
 	FuzzTopology   string
 	FuzzLookahead  int
 
+	// serve-verb flags: listen address, compiled-scenario cache bound,
+	// and the process-wide concurrent-simulation budget.
+	Addr           string
+	CacheSize      int
+	MaxConcurrency int
+
 	// Profiling flags, usable with every verb: write a pprof CPU or
 	// heap profile covering the whole command (see StartProfiles).
 	CPUProfile string
@@ -52,7 +58,10 @@ type SysdlOptions struct {
 
 // DefaultSysdlOptions returns the tool's flag defaults.
 func DefaultSysdlOptions() SysdlOptions {
-	return SysdlOptions{Capacity: 1, Policy: "compatible", Seed: 1, FuzzN: 256, FuzzMutations: 2}
+	return SysdlOptions{
+		Capacity: 1, Policy: "compatible", Seed: 1, FuzzN: 256, FuzzMutations: 2,
+		Addr: "127.0.0.1:8080", CacheSize: 128,
+	}
 }
 
 // BindFlags registers the options on a FlagSet.
@@ -77,6 +86,9 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.IntVar(&o.FuzzInterleave, "fuzz-interleave", o.FuzzInterleave, "fuzz: interleave depth (0 = per-seed random)")
 	fs.StringVar(&o.FuzzTopology, "fuzz-topology", o.FuzzTopology, "fuzz: auto|linear|ring|mesh")
 	fs.IntVar(&o.FuzzLookahead, "fuzz-lookahead", o.FuzzLookahead, "fuzz: §8 analysis budget (0 = strict)")
+	fs.StringVar(&o.Addr, "addr", o.Addr, "serve: listen address")
+	fs.IntVar(&o.CacheSize, "cache-size", o.CacheSize, "serve: compiled-scenario cache bound (entries)")
+	fs.IntVar(&o.MaxConcurrency, "max-concurrency", o.MaxConcurrency, "serve: concurrent simulations (0 = GOMAXPROCS)")
 	fs.StringVar(&o.CPUProfile, "cpuprofile", o.CPUProfile, "write a pprof CPU profile to this file")
 	fs.StringVar(&o.MemProfile, "memprofile", o.MemProfile, "write a pprof heap profile to this file on exit")
 }
@@ -338,21 +350,12 @@ func sysdlAnalyze(w io.Writer, p *systolic.Program, topo systolic.Topology, opts
 	return a, 0, nil
 }
 
-// ParsePolicy maps a policy flag value to a PolicyKind.
+// ParsePolicy maps a policy flag value to a PolicyKind. It shares the
+// serving layer's spelling (see systolic.ParsePolicyName).
 func ParsePolicy(name string) (systolic.PolicyKind, error) {
-	switch name {
-	case "compatible":
-		return systolic.DynamicCompatible, nil
-	case "static":
-		return systolic.StaticAssignment, nil
-	case "fcfs":
-		return systolic.NaiveFCFS, nil
-	case "lifo":
-		return systolic.NaiveLIFO, nil
-	case "random":
-		return systolic.NaiveRandom, nil
-	case "adversarial":
-		return systolic.NaiveAdversarial, nil
+	kind, err := systolic.ParsePolicyName(name)
+	if err != nil {
+		return 0, fmt.Errorf("cli: unknown policy %q", name)
 	}
-	return 0, fmt.Errorf("cli: unknown policy %q", name)
+	return kind, nil
 }

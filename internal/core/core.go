@@ -191,6 +191,29 @@ func (k PolicyKind) String() string {
 	return fmt.Sprintf("policy(%d)", int(k))
 }
 
+// ParsePolicy maps a policy name — the spelling the CLI flags and the
+// serving layer's wire format share — to its PolicyKind. Both the
+// short flag names ("compatible", "fcfs") and the PolicyKind.String()
+// forms ("dynamic-compatible", "naive-fcfs") are accepted, so a
+// rendered report row can be pasted back into a request.
+func ParsePolicy(name string) (PolicyKind, error) {
+	switch name {
+	case "compatible", "dynamic-compatible":
+		return DynamicCompatible, nil
+	case "static":
+		return StaticAssignment, nil
+	case "fcfs", "naive-fcfs":
+		return NaiveFCFS, nil
+	case "lifo", "naive-lifo":
+		return NaiveLIFO, nil
+	case "random", "naive-random":
+		return NaiveRandom, nil
+	case "adversarial", "naive-adversarial":
+		return NaiveAdversarial, nil
+	}
+	return 0, &OptionError{Op: "Execute", Field: "Policy", Reason: fmt.Sprintf("unknown policy %q (want compatible|static|fcfs|lifo|random|adversarial)", name)}
+}
+
 // policy instantiates the assign.Policy for a kind.
 func (k PolicyKind) policy(seed int64) assign.Policy {
 	switch k {

@@ -1,0 +1,109 @@
+// Package doclint enforces the repository's documentation floor:
+// every Go package must carry a package-level doc comment
+// ("// Package xyz …" or "// Command xyz …" for mains). The CI step
+// `go run ./tools/doclint` and the unit test in this package both run
+// Check, so an undocumented package fails the build in two places.
+package doclint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding names one undocumented package.
+type Finding struct {
+	// Dir is the package directory relative to the scanned root.
+	Dir string
+	// Package is the package name.
+	Package string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: package %s has no package doc comment", f.Dir, f.Package)
+}
+
+// Check walks every Go package under root (skipping testdata and
+// hidden directories) and returns one Finding per package whose
+// non-test files all lack a package doc comment. Test-only packages
+// (xxx_test or packages with only _test.go files) are exempt: their
+// doc comment would never render anywhere.
+func Check(root string) ([]Finding, error) {
+	type pkgState struct {
+		name       string
+		documented bool
+		nonTest    int
+	}
+	pkgs := make(map[string]*pkgState) // dir -> state
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("doclint: %s: %w", path, err)
+		}
+		dir, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		st := pkgs[dir]
+		if st == nil {
+			st = &pkgState{name: f.Name.Name}
+			pkgs[dir] = st
+		}
+		st.nonTest++
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			st.documented = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	for dir, st := range pkgs {
+		if st.nonTest > 0 && !st.documented {
+			findings = append(findings, Finding{Dir: dir, Package: st.name})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Dir < findings[j].Dir })
+	return findings, nil
+}
+
+// Main is the shared entry point of the tools/doclint command: scan
+// the working tree, print findings, and report whether the tree is
+// clean.
+func Main(root string) int {
+	findings, err := Check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented package(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+package doclint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepositoryIsFullyDocumented is the enforcement test: every
+// package in this repository must carry a package doc comment. CI
+// also runs the same check via `go run ./tools/doclint`.
+func TestRepositoryIsFullyDocumented(t *testing.T) {
+	root := filepath.Join("..", "..")
+	findings, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestCheckFlagsUndocumentedPackage proves the lint actually bites.
+func TestCheckFlagsUndocumentedPackage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("good/good.go", "// Package good is documented.\npackage good\n")
+	write("bad/bad.go", "package bad\n")
+	write("bad/extra.go", "package bad\n\nvar X = 1\n")
+	write("testonly/only_test.go", "package testonly\n")
+	write("testdata/skipme/x.go", "package skipme\n")
+
+	findings, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 finding, got %v", findings)
+	}
+	if findings[0].Package != "bad" || findings[0].Dir != "bad" {
+		t.Fatalf("wrong finding: %+v", findings[0])
+	}
+}
+
+// TestCheckAcceptsDocOnAnyFile: the doc comment may live on any one
+// non-test file of the package.
+func TestCheckAcceptsDocOnAnyFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "p"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"a.go": "package p\n",
+		"b.go": "// Package p is documented here, not in a.go.\npackage p\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, "p", name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("documented package flagged: %v", findings)
+	}
+}

@@ -1,0 +1,109 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// ScenarioKey returns a stable content address for a scenario: a hex
+// sha256 over a canonical binary serialization of the program (cells,
+// messages, per-cell op streams), the topology (name and link set),
+// and — when provided — the routes and dense labels. Two calls agree
+// exactly when the four inputs are structurally identical, regardless
+// of how the program was built (DSL text, builder calls, generation),
+// which makes the key safe to use across processes and restarts.
+//
+// routes and labels may be nil: routing and labeling are deterministic
+// functions of (program, topology, analysis options), so a key over
+// the first two plus the options already content-addresses the whole
+// compiled scenario. Compile-level callers that do hold routes and
+// labels (see Machine.Fingerprint) include them so the key also pins
+// the derived artifacts.
+func ScenarioKey(p *model.Program, t topology.Topology, routes [][]topology.Hop, labels []int) string {
+	h := sha256.New()
+	writeScenario(h, p, t, routes, labels)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Fingerprint returns the machine's content address: the ScenarioKey
+// of exactly what was compiled, routes and labels included. Equal
+// fingerprints mean interchangeable machines.
+func (m *Machine) Fingerprint() string {
+	return ScenarioKey(m.prog, m.topo, m.routes, m.labels)
+}
+
+// writeScenario streams the canonical serialization into h. Every
+// variable-length field is length-prefixed and every section is
+// tagged, so no two distinct scenarios can collide by concatenation
+// ambiguity.
+func writeScenario(h hash.Hash, p *model.Program, t topology.Topology, routes [][]topology.Hop, labels []int) {
+	var buf [8]byte
+	u := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u(len(s))
+		io.WriteString(h, s)
+	}
+
+	io.WriteString(h, "systolic-scenario-v1\x00")
+
+	u(p.NumCells())
+	for _, c := range p.Cells() {
+		str(c.Name)
+		host := 0
+		if c.Host {
+			host = 1
+		}
+		u(host)
+	}
+
+	u(p.NumMessages())
+	for _, msg := range p.Messages() {
+		str(msg.Name)
+		u(int(msg.Sender))
+		u(int(msg.Receiver))
+		u(msg.Words)
+	}
+
+	for _, c := range p.Cells() {
+		code := p.Code(c.ID)
+		u(len(code))
+		for _, op := range code {
+			u(int(op.Kind))
+			u(int(op.Msg))
+		}
+	}
+
+	str(t.Name())
+	links := t.Links()
+	u(len(links))
+	for _, l := range links {
+		u(int(l.A))
+		u(int(l.B))
+	}
+
+	io.WriteString(h, "routes\x00")
+	u(len(routes))
+	for _, rt := range routes {
+		u(len(rt))
+		for _, hop := range rt {
+			u(int(hop.Link))
+			u(int(hop.From))
+			u(int(hop.To))
+		}
+	}
+
+	io.WriteString(h, "labels\x00")
+	u(len(labels))
+	for _, l := range labels {
+		u(l)
+	}
+}

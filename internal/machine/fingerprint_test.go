@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"testing"
+
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// fpProgram builds a small two-message relay used by the fingerprint
+// tests.
+func fpProgram(t *testing.T, words int) *model.Program {
+	t.Helper()
+	b := model.NewBuilder()
+	c1 := b.AddCell("C1")
+	c2 := b.AddCell("C2")
+	c3 := b.AddCell("C3")
+	a := b.DeclareMessage("A", c1, c2, words)
+	bb := b.DeclareMessage("B", c2, c3, words)
+	for i := 0; i < words; i++ {
+		b.Write(c1, a)
+	}
+	for i := 0; i < words; i++ {
+		b.Read(c2, a)
+		b.Write(c2, bb)
+	}
+	for i := 0; i < words; i++ {
+		b.Read(c3, bb)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func TestScenarioKeyStable(t *testing.T) {
+	p1 := fpProgram(t, 2)
+	p2 := fpProgram(t, 2)
+	topo := topology.Linear(3)
+	k1 := ScenarioKey(p1, topo, nil, nil)
+	k2 := ScenarioKey(p2, topology.Linear(3), nil, nil)
+	if k1 != k2 {
+		t.Fatalf("structurally identical scenarios hash differently:\n%s\n%s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not a hex sha256", k1)
+	}
+}
+
+func TestScenarioKeySensitivity(t *testing.T) {
+	base := fpProgram(t, 2)
+	topo := topology.Linear(3)
+	baseKey := ScenarioKey(base, topo, nil, nil)
+
+	if k := ScenarioKey(fpProgram(t, 3), topo, nil, nil); k == baseKey {
+		t.Fatal("changing word counts did not change the key")
+	}
+	if k := ScenarioKey(base, topology.Ring(3), nil, nil); k == baseKey {
+		t.Fatal("changing the topology did not change the key")
+	}
+	routes, err := topology.Routes(base, topo)
+	if err != nil {
+		t.Fatalf("routes: %v", err)
+	}
+	if k := ScenarioKey(base, topo, routes, nil); k == baseKey {
+		t.Fatal("adding routes did not change the key")
+	}
+	if ScenarioKey(base, topo, routes, []int{1, 2}) == ScenarioKey(base, topo, routes, []int{2, 1}) {
+		t.Fatal("permuting labels did not change the key")
+	}
+}
+
+func TestMachineFingerprintMatchesScenarioKey(t *testing.T) {
+	p := fpProgram(t, 2)
+	topo := topology.Linear(3)
+	routes, err := topology.Routes(p, topo)
+	if err != nil {
+		t.Fatalf("routes: %v", err)
+	}
+	labels := []int{1, 1}
+	m, err := Compile(p, topo, routes, labels)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	want := ScenarioKey(p, topo, routes, labels)
+	if got := m.Fingerprint(); got != want {
+		t.Fatalf("Fingerprint %s != ScenarioKey %s", got, want)
+	}
+
+	// A second compile of the same inputs yields the same fingerprint.
+	m2, err := Compile(fpProgram(t, 2), topology.Linear(3), nil, labels)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if m2.Fingerprint() != want {
+		t.Fatal("recompiled machine has a different fingerprint")
+	}
+}

@@ -70,11 +70,11 @@ func TestCompileValidation(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	m := mustCompile(t, chain(t, 2), topology.Linear(2))
 	bad := []ExecOptions{
-		{QueuesPerLink: 1, Capacity: 1},                                                // nil policy
-		fcfs(0, 1),                                                                     // zero queues
-		fcfs(1, -1),                                                                    // negative capacity
-		{Policy: assign.Naive(assign.FCFS, 0), QueuesPerLink: 1, ExtCapacity: -1},      // negative ext
-		{Policy: assign.Naive(assign.FCFS, 0), QueuesPerLink: 1, ExtPenalty: -1},       // negative penalty
+		{QueuesPerLink: 1, Capacity: 1}, // nil policy
+		fcfs(0, 1),                      // zero queues
+		fcfs(1, -1),                     // negative capacity
+		{Policy: assign.Naive(assign.FCFS, 0), QueuesPerLink: 1, ExtCapacity: -1},             // negative ext
+		{Policy: assign.Naive(assign.FCFS, 0), QueuesPerLink: 1, ExtPenalty: -1},              // negative penalty
 		{Policy: assign.Naive(assign.FCFS, 0), QueuesPerLink: 1, Capacity: 0, ExtCapacity: 1}, // ext over latch
 	}
 	for i, opts := range bad {

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"systolic/internal/core"
+)
+
+// cacheKey is a raw sha256 digest. Keys stay as fixed-size arrays so
+// the hot-path map lookups allocate nothing.
+type cacheKey = [sha256.Size]byte
+
+// entry is one cached compiled scenario. ready is closed once compile
+// (Analyze + machine build) finishes; until then a and err must not be
+// read. Waiters hold the pointer directly, so an entry evicted while
+// in flight still completes for everyone who found it.
+type entry struct {
+	canon    cacheKey
+	ready    chan struct{}
+	a        *core.Analysis
+	err      error
+	scenario string   // hex ScenarioKey(program, topology) for responses
+	srcKeys  []string // source-level aliases registered for this entry
+}
+
+// wait blocks until the entry's compile has finished.
+func (e *entry) wait() (*core.Analysis, error) {
+	<-e.ready
+	return e.a, e.err
+}
+
+// scenarioCache is the content-addressed compiled-machine cache at the
+// heart of the serving layer. Entries are keyed canonically — a stable
+// hash of the parsed program, topology, and analysis options (see
+// machine.ScenarioKey) — so two textually different programs that
+// parse to the same scenario share one compile. On top of that sits a
+// source-level alias index: the raw (request text, options) hash maps
+// straight to its entry, so the steady-state hit path for repeated
+// identical requests is one sha256 and one map probe, with no parsing
+// at all.
+//
+// Concurrent misses on the same key are deduplicated singleflight
+// style: the first request inserts an in-flight entry and compiles;
+// everyone else finds the entry and waits on its ready channel. The
+// LRU bound counts canonical entries; evicting one removes its
+// aliases with it.
+type scenarioCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used; values are *entry
+	byCanon map[cacheKey]*list.Element
+	bySrc   map[cacheKey]*list.Element // source-alias fast path
+
+	hits, misses, evictions atomic.Int64
+}
+
+func newScenarioCache(max int) *scenarioCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &scenarioCache{
+		max:     max,
+		ll:      list.New(),
+		byCanon: make(map[cacheKey]*list.Element),
+		bySrc:   make(map[cacheKey]*list.Element),
+	}
+}
+
+// srcDigest hashes a raw request (program text + analysis options)
+// without parsing it. This is the only work a steady-state cache hit
+// performs before the simulation itself.
+func srcDigest(program string, lookahead bool, capacity int) cacheKey {
+	h := sha256.New()
+	io.WriteString(h, "sysdl-src-v1\x00")
+	io.WriteString(h, program)
+	var opts [9]byte
+	if lookahead {
+		opts[0] = 1
+	}
+	binary.LittleEndian.PutUint64(opts[1:], uint64(int64(capacity)))
+	h.Write(opts[:])
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// canonDigest folds the canonical scenario hash with the analysis
+// options into a cache key.
+func canonDigest(scenarioKey string, lookahead bool, capacity int) cacheKey {
+	h := sha256.New()
+	io.WriteString(h, "sysdl-canon-v1\x00")
+	io.WriteString(h, scenarioKey)
+	var opts [9]byte
+	if lookahead {
+		opts[0] = 1
+	}
+	binary.LittleEndian.PutUint64(opts[1:], uint64(int64(capacity)))
+	h.Write(opts[:])
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// lookupSrc is the alias fast path: a hit returns the entry (possibly
+// still compiling — the caller waits on it) and counts as a cache hit.
+func (c *scenarioCache) lookupSrc(src cacheKey) (*entry, bool) {
+	c.mu.Lock()
+	el, ok := c.bySrc[src]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return el.Value.(*entry), true
+}
+
+// getOrCompile returns the entry for a canonical key, compiling it via
+// compile() exactly once no matter how many requests race here. src is
+// registered as an alias so the next textually identical request skips
+// the parse. Finding an existing entry — even one still compiling —
+// counts as a hit (hit true); only the request that triggers the
+// compile counts a miss.
+func (c *scenarioCache) getOrCompile(canon, src cacheKey, scenario string, compile func() (*core.Analysis, error)) (_ *entry, hit bool) {
+	c.mu.Lock()
+	if el, ok := c.byCanon[canon]; ok {
+		c.ll.MoveToFront(el)
+		c.addAliasLocked(el, src)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*entry), true
+	}
+	e := &entry{canon: canon, ready: make(chan struct{}), scenario: scenario}
+	el := c.ll.PushFront(e)
+	c.byCanon[canon] = el
+	c.addAliasLocked(el, src)
+	for c.ll.Len() > c.max {
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.a, e.err = compile()
+	close(e.ready)
+	if e.err != nil {
+		// Do not cache failures: a failed compile is cheap to rediscover
+		// and caching it would pin a broken scenario for its LRU
+		// lifetime.
+		c.remove(e)
+	}
+	return e, false
+}
+
+// addAliasLocked registers a source alias for an entry, bounded so a
+// flood of textual variants of one scenario cannot grow memory
+// unboundedly.
+func (c *scenarioCache) addAliasLocked(el *list.Element, src cacheKey) {
+	if existing, ok := c.bySrc[src]; ok && existing == el {
+		return
+	}
+	e := el.Value.(*entry)
+	const maxAliases = 8
+	if len(e.srcKeys) >= maxAliases {
+		return
+	}
+	c.bySrc[src] = el
+	e.srcKeys = append(e.srcKeys, string(src[:]))
+}
+
+// evictLocked drops the least recently used entry and its aliases.
+func (c *scenarioCache) evictLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.dropLocked(el)
+	c.evictions.Add(1)
+}
+
+// remove deletes a specific entry (used to un-cache failed compiles);
+// it does not count as an eviction. The pointer comparison guards
+// against dropping a newer entry that replaced e after an eviction.
+func (c *scenarioCache) remove(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byCanon[e.canon]; ok && el.Value.(*entry) == e {
+		c.dropLocked(el)
+	}
+}
+
+func (c *scenarioCache) dropLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.byCanon, e.canon)
+	for _, s := range e.srcKeys {
+		var k cacheKey
+		copy(k[:], s)
+		if c.bySrc[k] == el {
+			delete(c.bySrc, k)
+		}
+	}
+	e.srcKeys = nil
+}
+
+// len reports the number of cached canonical entries.
+func (c *scenarioCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

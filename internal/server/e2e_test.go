@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// postJSONRaw posts without a testing.T so worker goroutines can
+// report failures through their own channel instead of calling Fatalf
+// off the test goroutine.
+func postJSONRaw(url string, body any) (*http.Response, []byte) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func errAt(client, i int, msg string) error {
+	return fmt.Errorf("client %d request %d: %s", client, i, msg)
+}
+
+// TestConcurrentClientsOneCachedScenario is the end-to-end acceptance
+// test for the serving layer: N concurrent clients hammer one
+// scenario over real HTTP. Exactly one compile must happen
+// (singleflight), every request must complete identically, and the
+// stats counters must add up. Run it under -race: the cache, the
+// limiter, the pooled machine, and the result store are all exercised
+// concurrently.
+func TestConcurrentClientsOneCachedScenario(t *testing.T) {
+	s := New(Options{MaxConcurrency: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const (
+		clients   = 8
+		perClient = 25
+	)
+	total := clients * perClient
+
+	var wg sync.WaitGroup
+	outcomes := make([][]string, clients)
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, body := postJSONRaw(ts.URL+"/v1/run", RunRequest{Program: relayDSL})
+				if resp == nil {
+					errs[c] = errAt(c, i, "transport failure")
+					return
+				}
+				if resp.StatusCode != 200 {
+					errs[c] = errAt(c, i, string(body))
+					return
+				}
+				var rr RunResponse
+				if err := json.Unmarshal(body, &rr); err != nil {
+					errs[c] = err
+					return
+				}
+				outcomes[c] = append(outcomes[c], rr.Outcome)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	for c := range outcomes {
+		if len(outcomes[c]) != perClient {
+			t.Fatalf("client %d finished %d/%d requests", c, len(outcomes[c]), perClient)
+		}
+		for i, o := range outcomes[c] {
+			if o != "completed" {
+				t.Fatalf("client %d request %d: outcome %q", c, i, o)
+			}
+		}
+	}
+
+	stats := s.statsSnapshot()
+	if stats.CacheMisses != 1 {
+		t.Fatalf("CacheMisses = %d, want exactly 1 (singleflight)", stats.CacheMisses)
+	}
+	if stats.CacheHits != int64(total-1) {
+		t.Fatalf("CacheHits = %d, want %d", stats.CacheHits, total-1)
+	}
+	if stats.CacheEntries != 1 {
+		t.Fatalf("CacheEntries = %d, want 1", stats.CacheEntries)
+	}
+	if stats.InFlightRuns != 0 {
+		t.Fatalf("InFlightRuns = %d after drain", stats.InFlightRuns)
+	}
+	if stats.Requests < int64(total) {
+		t.Fatalf("Requests = %d, want ≥ %d", stats.Requests, total)
+	}
+}

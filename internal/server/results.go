@@ -1,0 +1,63 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// resultStore retains the marshaled response documents of prior
+// /v1/analyze, /v1/run, and /v1/sweep requests, bounded FIFO, so
+// GET /v1/results/{id} can replay exactly what the submitter saw.
+type resultStore struct {
+	mu    sync.Mutex
+	max   int
+	seq   int64
+	order []string // insertion order; front is the oldest retained id
+	items map[string][]byte
+}
+
+func newResultStore(max int) *resultStore {
+	if max <= 0 {
+		max = 256
+	}
+	return &resultStore{max: max, items: make(map[string][]byte)}
+}
+
+// nextID reserves a result identifier.
+func (s *resultStore) nextID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return fmt.Sprintf("r-%08d", s.seq)
+}
+
+// save retains a response document under its id, evicting the oldest
+// documents beyond the bound.
+func (s *resultStore) save(id string, body []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.items[id]; dup {
+		return
+	}
+	s.items[id] = body
+	s.order = append(s.order, id)
+	for len(s.order) > s.max {
+		delete(s.items, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// get returns the stored document for an id.
+func (s *resultStore) get(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.items[id]
+	return b, ok
+}
+
+// len reports how many documents are retained.
+func (s *resultStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}

@@ -1,0 +1,456 @@
+// Package server turns the systolic library into a long-running
+// simulation service: an HTTP/JSON daemon that accepts DSL programs,
+// analyzes and simulates them, fans out parameter-sweep grids, and
+// retains results for later retrieval.
+//
+// The throughput story is the content-addressed compiled-machine
+// cache (see cache.go): every request's scenario — program, topology,
+// analysis options — is canonically hashed, cache hits skip parsing,
+// Analyze, and machine compilation entirely and go straight to a
+// pooled machine.Run, concurrent identical compiles are deduplicated
+// singleflight style, and an LRU bound caps residency. A shared
+// sweep.Limiter bounds simultaneous simulations across every
+// endpoint, so a burst of /v1/run traffic and a wide /v1/sweep grid
+// draw from one -max-concurrency budget.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   classify, label, and size a DSL program
+//	POST /v1/run       simulate under a policy/queues/capacity config
+//	POST /v1/sweep     run a whole configuration grid
+//	GET  /v1/results/{id}  replay a prior response document
+//	GET  /v1/stats     cache and concurrency counters
+//	GET  /debug/vars   the same counters in expvar form
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"systolic/internal/core"
+	"systolic/internal/dsl"
+	"systolic/internal/machine"
+	"systolic/internal/sweep"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Addr is the listen address for ListenAndServe (default
+	// "127.0.0.1:8080").
+	Addr string
+	// CacheSize bounds the compiled-scenario LRU cache (entries;
+	// default 128).
+	CacheSize int
+	// MaxConcurrency bounds simultaneous simulations across all
+	// endpoints (default runtime.GOMAXPROCS(0)).
+	MaxConcurrency int
+	// MaxResults bounds retained result documents (default 256).
+	MaxResults int
+	// Log, when non-nil, receives one line on listen and one on
+	// shutdown.
+	Log io.Writer
+}
+
+// Server is the simulation service. Create it with New; it is ready
+// to serve immediately and safe for concurrent use.
+type Server struct {
+	opts    Options
+	cache   *scenarioCache
+	results *resultStore
+	limiter *sweep.Limiter
+	mux     *http.ServeMux
+
+	requests atomic.Int64
+}
+
+// New builds a Server from options.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:    opts,
+		cache:   newScenarioCache(opts.CacheSize),
+		results: newResultStore(opts.MaxResults),
+		limiter: sweep.NewLimiter(opts.MaxConcurrency),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	publishExpvar(s)
+	return s
+}
+
+// Routes lists the service's route patterns. The docs/API.md
+// conformance test walks this list, so an endpoint cannot be added
+// without documenting it.
+func Routes() []string {
+	return []string{
+		"POST /v1/analyze",
+		"POST /v1/run",
+		"POST /v1/sweep",
+		"GET /v1/results/{id}",
+		"GET /v1/stats",
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			s.requests.Add(1)
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// ListenAndServe runs a Server on opts.Addr until ctx is cancelled,
+// then shuts down gracefully (in-flight requests get five seconds to
+// drain). It returns nil on a clean shutdown.
+func ListenAndServe(ctx context.Context, opts Options) error {
+	addr := opts.Addr
+	if addr == "" {
+		addr = "127.0.0.1:8080"
+	}
+	s := New(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	if opts.Log != nil {
+		fmt.Fprintf(opts.Log, "sysdl serve: listening on http://%s (cache %d scenarios, %d concurrent runs)\n",
+			ln.Addr(), s.cache.max, s.limiter.Cap())
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := hs.Shutdown(sctx)
+		if opts.Log != nil {
+			fmt.Fprintln(opts.Log, "sysdl serve: shut down")
+		}
+		return err
+	case err := <-errc:
+		return fmt.Errorf("server: %w", err)
+	}
+}
+
+// statusError carries an HTTP status with an error.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+
+func badRequest(err error) *statusError {
+	return &statusError{code: http.StatusBadRequest, err: err}
+}
+
+// lookup resolves a request's scenario through the cache: the alias
+// fast path first (one hash, one map probe, no parsing), then the
+// canonical path (parse, hash the parsed form, compile at most once
+// process-wide). cached reports whether a compile was skipped.
+func (s *Server) lookup(program string, spec AnalyzeSpec) (e *entry, cached bool, err error) {
+	src := srcDigest(program, spec.Lookahead, spec.Capacity)
+	if e, ok := s.cache.lookupSrc(src); ok {
+		return e, true, nil
+	}
+	f, perr := dsl.Parse(program)
+	if perr != nil {
+		return nil, false, badRequest(perr)
+	}
+	scenario := machine.ScenarioKey(f.Program, f.Topology, nil, nil)
+	canon := canonDigest(scenario, spec.Lookahead, spec.Capacity)
+	e, hit := s.cache.getOrCompile(canon, src, scenario, func() (*core.Analysis, error) {
+		a, err := core.Analyze(f.Program, f.Topology, core.AnalyzeOptions{
+			Lookahead: spec.Lookahead,
+			Capacity:  spec.Capacity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if a.DeadlockFree {
+			if _, err := a.Machine(); err != nil {
+				return nil, err
+			}
+		}
+		return a, nil
+	})
+	return e, hit, nil
+}
+
+// writeJSON writes a JSON response body with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError maps an error onto an ErrorResponse.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusUnprocessableEntity
+	var se *statusError
+	if errors.As(err, &se) {
+		code = se.code
+	}
+	var oe *core.OptionError
+	var ce *machine.ConfigError
+	if errors.As(err, &oe) || errors.As(err, &ce) {
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// maxBodyBytes bounds request bodies: generous for DSL text, small
+// enough that one bad client cannot exhaust the daemon's memory.
+const maxBodyBytes = 8 << 20
+
+// decode reads a JSON request body strictly and size-bounded.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &statusError{code: http.StatusRequestEntityTooLarge, err: fmt.Errorf("request body over %d bytes", tooBig.Limit)}
+		}
+		return badRequest(fmt.Errorf("bad request body: %w", err))
+	}
+	return nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	e, cached, err := s.lookup(req.Program, req.Analyze)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	a, err := e.wait()
+	if err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	resp := &AnalyzeResponse{
+		ID:               s.results.nextID(),
+		Scenario:         e.scenario,
+		Cached:           cached,
+		DeadlockFree:     a.DeadlockFree,
+		Strict:           a.Strict,
+		MinQueuesDynamic: a.MinQueuesDynamic,
+		MinQueuesStatic:  a.MinQueuesStatic,
+	}
+	if a.DeadlockFree {
+		for _, msg := range a.Program.Messages() {
+			resp.Labels = append(resp.Labels, LabelInfo{
+				Message: msg.Name,
+				Label:   a.Labeling.ByMessage[msg.ID].String(),
+				Rank:    a.Labeling.Dense[msg.ID],
+			})
+		}
+	}
+	s.store(w, resp.ID, resp)
+}
+
+// executeRun is the submit-to-result core of POST /v1/run, shared with
+// BenchmarkServeCacheHit: everything except HTTP/JSON framing and
+// result retention. On the steady-state hit path it performs one
+// source hash, one cache probe, a limiter acquire, and a pooled
+// machine.Run — nothing else.
+func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunResponse) error {
+	kind := core.DynamicCompatible
+	if req.Policy != "" {
+		var err error
+		kind, err = core.ParsePolicy(req.Policy)
+		if err != nil {
+			return badRequest(err)
+		}
+	}
+	e, cached, err := s.lookup(req.Program, req.Analyze)
+	if err != nil {
+		return err
+	}
+	a, err := e.wait()
+	if err != nil {
+		return badRequest(err)
+	}
+	if err := s.limiter.Acquire(ctx); err != nil {
+		return &statusError{code: http.StatusServiceUnavailable, err: fmt.Errorf("cancelled while waiting for a run slot: %w", err)}
+	}
+	res, err := core.Execute(a, core.ExecOptions{
+		Policy:        kind,
+		QueuesPerLink: req.Queues,
+		Capacity:      req.Capacity,
+		Seed:          req.Seed,
+		MaxCycles:     req.MaxCycles,
+		Force:         req.Force,
+	})
+	s.limiter.Release()
+	if err != nil {
+		return err
+	}
+	resp.Scenario = e.scenario
+	resp.Cached = cached
+	resp.Outcome = res.Outcome()
+	resp.Cycles = res.Cycles
+	resp.QueuesUsed = a.ResolveQueues(kind, req.Queues)
+	resp.MinQueues = a.MinQueues(kind)
+	resp.WordsMoved = res.Stats.WordsMoved
+	resp.Blocked = nil
+	if res.Deadlocked {
+		desc := machine.DescribeBlocked(a.Program, res.Blocked)
+		resp.Blocked = strings.Split(strings.TrimRight(desc, "\n"), "\n")
+	}
+	return nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	var resp RunResponse
+	if err := s.executeRun(r.Context(), &req, &resp); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp.ID = s.results.nextID()
+	s.store(w, resp.ID, &resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	f, err := dsl.Parse(req.Program)
+	if err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	axes := sweep.Axes{
+		Queues:     req.Queues,
+		Capacities: req.Capacities,
+		Lookaheads: req.Lookaheads,
+		Seed:       req.Seed,
+	}
+	for _, name := range req.Policies {
+		kind, err := core.ParsePolicy(name)
+		if err != nil {
+			writeError(w, badRequest(err))
+			return
+		}
+		axes.Policies = append(axes.Policies, kind)
+	}
+	rep, err := sweep.Run(r.Context(),
+		[]sweep.Case{{Name: "program", Program: f.Program, Topology: f.Topology}},
+		axes,
+		sweep.Options{Workers: req.Workers, MaxCycles: req.MaxCycles, Limiter: s.limiter})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := &SweepResponse{ID: s.results.nextID(), Table: rep.Table()}
+	for _, o := range rep.Outcomes {
+		resp.Outcomes = append(resp.Outcomes, SweepOutcome{
+			Case:      o.CaseName,
+			Policy:    o.Policy.String(),
+			Queues:    o.QueuesUsed,
+			Capacity:  o.Capacity,
+			Lookahead: o.Lookahead,
+			Result:    o.Result,
+			Cycles:    o.Cycles,
+			Error:     o.Err,
+		})
+	}
+	s.store(w, resp.ID, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, ok := s.results.get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("no result %q (retention is bounded; see /v1/stats)", id)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+// statsSnapshot assembles the live counters.
+func (s *Server) statsSnapshot() StatsResponse {
+	return StatsResponse{
+		CacheHits:      s.cache.hits.Load(),
+		CacheMisses:    s.cache.misses.Load(),
+		CacheEvictions: s.cache.evictions.Load(),
+		CacheEntries:   s.cache.len(),
+		// The limiter sees every simulation — single runs and sweep
+		// grid points alike — so its occupancy is the saturation
+		// signal, not a per-endpoint counter.
+		InFlightRuns:   int64(s.limiter.InUse()),
+		MaxConcurrency: s.limiter.Cap(),
+		Results:        s.results.len(),
+		Requests:       s.requests.Load(),
+	}
+}
+
+// store marshals a response document, retains it under id, and writes
+// it as the HTTP reply. The retained bytes include the framing
+// newline, so GET /v1/results/{id} replays the response exactly.
+func (s *Server) store(w http.ResponseWriter, id string, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	body = append(body, '\n')
+	s.results.save(id, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// expvar publication: one process-wide "sysdl_serve" Func that reads
+// the most recently created Server's counters, registered exactly
+// once so tests creating many Servers never trip expvar's
+// duplicate-name panic.
+var (
+	expvarOnce    atomic.Bool
+	expvarCurrent atomic.Pointer[Server]
+)
+
+func publishExpvar(s *Server) {
+	expvarCurrent.Store(s)
+	if expvarOnce.CompareAndSwap(false, true) {
+		expvar.Publish("sysdl_serve", expvar.Func(func() any {
+			if cur := expvarCurrent.Load(); cur != nil {
+				return cur.statsSnapshot()
+			}
+			return nil
+		}))
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+// Wire format of the /v1/* endpoints. Field names are the contract
+// documented in docs/API.md; the doc-conformance test decodes the
+// doc's JSON examples into these structs with unknown fields
+// disallowed, so doc and code cannot drift apart silently.
+
+// AnalyzeSpec selects compile-time analysis options. It is embedded in
+// every request that parses a program: the analysis result (labels,
+// queue bounds, the compiled machine) depends on it, so it is part of
+// the cache key.
+type AnalyzeSpec struct {
+	// Lookahead classifies and labels with the §8 lookahead variant.
+	Lookahead bool `json:"lookahead,omitempty"`
+	// Capacity is the per-queue word capacity rule R2 assumes when
+	// Lookahead is set.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	// Program is DSL source text (see docs/DSL.md).
+	Program string      `json:"program"`
+	Analyze AnalyzeSpec `json:"analyze,omitempty"`
+}
+
+// LabelInfo is one message's §6 label in an AnalyzeResponse.
+type LabelInfo struct {
+	Message string `json:"message"`
+	Label   string `json:"label"` // exact rational, e.g. "3/2"
+	Rank    int    `json:"rank"`  // dense 1-based integer rank
+}
+
+// AnalyzeResponse is the body returned by POST /v1/analyze.
+type AnalyzeResponse struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"` // canonical content hash of (program, topology)
+	Cached   bool   `json:"cached"`   // true when the compiled scenario was already resident
+	// DeadlockFree is the classification under the requested options;
+	// Strict is the no-lookahead classification.
+	DeadlockFree     bool        `json:"deadlockFree"`
+	Strict           bool        `json:"strict"`
+	MinQueuesDynamic int         `json:"minQueuesDynamic"`
+	MinQueuesStatic  int         `json:"minQueuesStatic"`
+	Labels           []LabelInfo `json:"labels,omitempty"`
+}
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	Program string      `json:"program"`
+	Analyze AnalyzeSpec `json:"analyze,omitempty"`
+	// Policy is compatible|static|fcfs|lifo|random|adversarial
+	// (default compatible).
+	Policy string `json:"policy,omitempty"`
+	// Queues per link; 0 means the analysis minimum for the policy.
+	Queues int `json:"queues,omitempty"`
+	// Capacity per queue in words; 0 means 1.
+	Capacity int `json:"capacity,omitempty"`
+	// Seed feeds randomized policies.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxCycles bounds the simulation; 0 derives a bound from program
+	// size.
+	MaxCycles int `json:"maxCycles,omitempty"`
+	// Force runs even when Theorem 1's queue requirement is unmet.
+	Force bool `json:"force,omitempty"`
+}
+
+// RunResponse is the body returned by POST /v1/run.
+type RunResponse struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	Cached   bool   `json:"cached"`
+	// Outcome is "completed", "deadlocked" or "timed-out".
+	Outcome    string `json:"outcome"`
+	Cycles     int    `json:"cycles"`
+	QueuesUsed int    `json:"queuesUsed"`
+	MinQueues  int    `json:"minQueues"`
+	WordsMoved int    `json:"wordsMoved"`
+	// Blocked describes stuck cells when Outcome is "deadlocked", one
+	// line per cell.
+	Blocked []string `json:"blocked,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep. Empty axes take the
+// sweep engine's defaults.
+type SweepRequest struct {
+	Program    string   `json:"program"`
+	Policies   []string `json:"policies,omitempty"`
+	Queues     []int    `json:"queues,omitempty"`
+	Capacities []int    `json:"capacities,omitempty"`
+	Lookaheads []int    `json:"lookaheads,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	// Workers bounds the request's own fan-out; the server-wide
+	// -max-concurrency limiter applies on top.
+	Workers   int `json:"workers,omitempty"`
+	MaxCycles int `json:"maxCycles,omitempty"`
+}
+
+// SweepOutcome is one grid point of a SweepResponse.
+type SweepOutcome struct {
+	Case      string `json:"case"`
+	Policy    string `json:"policy"`
+	Queues    int    `json:"queues"`
+	Capacity  int    `json:"capacity"`
+	Lookahead int    `json:"lookahead"`
+	// Result is "completed", "deadlocked", "timed-out", "rejected" or
+	// "error".
+	Result string `json:"result"`
+	Cycles int    `json:"cycles"`
+	Error  string `json:"error,omitempty"`
+}
+
+// SweepResponse is the body returned by POST /v1/sweep.
+type SweepResponse struct {
+	ID       string         `json:"id"`
+	Outcomes []SweepOutcome `json:"outcomes"`
+	// Table is the engine's rendered fixed-width report.
+	Table string `json:"table"`
+}
+
+// StatsResponse is the body returned by GET /v1/stats.
+type StatsResponse struct {
+	// CacheHits counts requests served from the compiled-scenario
+	// cache (including waits on an in-flight compile); CacheMisses
+	// counts compiles triggered; CacheEvictions counts LRU evictions.
+	CacheHits      int64 `json:"cacheHits"`
+	CacheMisses    int64 `json:"cacheMisses"`
+	CacheEvictions int64 `json:"cacheEvictions"`
+	CacheEntries   int   `json:"cacheEntries"`
+	// InFlightRuns is the number of simulations executing right now;
+	// MaxConcurrency is the limiter bound they share.
+	InFlightRuns   int64 `json:"inFlightRuns"`
+	MaxConcurrency int   `json:"maxConcurrency"`
+	// Results is the number of retained result documents; Requests
+	// counts every /v1/* request handled.
+	Results  int   `json:"results"`
+	Requests int64 `json:"requests"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -180,6 +180,11 @@ type Options struct {
 	// MaxCycles bounds each simulation (0 = the simulator's derived
 	// default).
 	MaxCycles int
+	// Limiter, when non-nil, additionally gates every grid point on a
+	// process-wide concurrency budget shared with other engines (the
+	// serving layer passes its -max-concurrency limiter here, so
+	// concurrent sweeps and single runs draw from one pool).
+	Limiter *Limiter
 }
 
 // Report is the order-stable result of a sweep: Outcomes[i] is grid
@@ -242,9 +247,21 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 	outcomes := make([]Outcome, len(configs))
 	if err := ForEach(ctx, len(configs), opts.Workers, func(i int) {
 		cfg := configs[i]
+		if err := opts.Limiter.Acquire(ctx); err != nil {
+			// ctx cancelled while waiting for a slot; Run returns
+			// ctx.Err() below, so the outcome is never observed.
+			return
+		}
+		defer opts.Limiter.Release()
 		a, aerr := cache.get(cfg.Case, cfg.Lookahead)
 		outcomes[i] = runOne(cases[cfg.Case], cfg, a, aerr, opts)
 	}); err != nil {
+		return nil, err
+	}
+	// A cancellation that struck while a worker waited on the shared
+	// limiter leaves its outcome unwritten; refuse to return a partial
+	// report.
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 

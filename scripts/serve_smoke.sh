@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Serve smoke test: boot the daemon, drive /v1/run twice with the same
+# program, and assert the second request is a cache hit via /v1/stats.
+# CI runs this on every push; it is also runnable locally:
+#
+#   sh scripts/serve_smoke.sh
+#
+# Requires: go, curl. No jq dependency — assertions are grep-based.
+set -eu
+
+ADDR="127.0.0.1:18080"
+LOG="$(mktemp)"
+BODY="$(mktemp)"
+
+cleanup() {
+    [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -f "$LOG" "$BODY"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building sysdl"
+go build -o /tmp/sysdl-smoke ./cmd/sysdl
+
+echo "==> starting sysdl serve on $ADDR"
+/tmp/sysdl-smoke serve -addr "$ADDR" >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the daemon to come up.
+i=0
+until curl -fsS "http://$ADDR/v1/stats" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "FAIL: daemon never came up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Build the request body: {"program": "<fig7.sys>"} without jq.
+{
+    printf '{"program": "'
+    sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' examples/dsl/fig7.sys | awk '{printf "%s\\n", $0}'
+    printf '"}'
+} >"$BODY"
+
+echo "==> first /v1/run (expect cached:false, outcome completed)"
+FIRST="$(curl -fsS -X POST --data-binary @"$BODY" "http://$ADDR/v1/run")"
+echo "$FIRST"
+echo "$FIRST" | grep -q '"cached":false' || { echo "FAIL: first request claims a cache hit" >&2; exit 1; }
+echo "$FIRST" | grep -q '"outcome":"completed"' || { echo "FAIL: first run did not complete" >&2; exit 1; }
+
+echo "==> second identical /v1/run (expect cached:true)"
+SECOND="$(curl -fsS -X POST --data-binary @"$BODY" "http://$ADDR/v1/run")"
+echo "$SECOND"
+echo "$SECOND" | grep -q '"cached":true' || { echo "FAIL: second identical request was not a cache hit" >&2; exit 1; }
+
+echo "==> /v1/stats (expect cacheHits:1, cacheMisses:1)"
+STATS="$(curl -fsS "http://$ADDR/v1/stats")"
+echo "$STATS"
+echo "$STATS" | grep -q '"cacheHits":1' || { echo "FAIL: stats do not show exactly one hit" >&2; exit 1; }
+echo "$STATS" | grep -q '"cacheMisses":1' || { echo "FAIL: stats do not show exactly one miss" >&2; exit 1; }
+
+echo "==> result retention"
+ID="$(echo "$FIRST" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+curl -fsS "http://$ADDR/v1/results/$ID" | grep -q '"outcome":"completed"' \
+    || { echo "FAIL: GET /v1/results/$ID did not replay the run" >&2; exit 1; }
+
+echo "==> graceful shutdown"
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || { echo "FAIL: daemon exited non-zero on SIGINT" >&2; exit 1; }
+SERVE_PID=""
+grep -q "shut down" "$LOG" || { echo "FAIL: no shutdown line in log" >&2; exit 1; }
+
+echo "PASS: serve smoke"

@@ -193,6 +193,12 @@ const (
 	NaiveAdversarial = core.NaiveAdversarial
 )
 
+// ParsePolicyName maps a policy name ("compatible", "static", "fcfs",
+// "lifo", "random", "adversarial", or a PolicyKind.String() form) to
+// its PolicyKind — the spelling shared by the sysdl flags and the
+// /v1/* wire format.
+func ParsePolicyName(name string) (PolicyKind, error) { return core.ParsePolicy(name) }
+
 // Analyze classifies and labels a program over a topology and computes
 // Theorem 1's queue requirements.
 func Analyze(p *Program, t Topology, opts AnalyzeOptions) (*Analysis, error) {

@@ -1,0 +1,18 @@
+// Command doclint fails when any Go package in the repository lacks a
+// package doc comment. CI runs it as `go run ./tools/doclint`; the
+// same check also runs as a unit test in internal/doclint.
+package main
+
+import (
+	"os"
+
+	"systolic/internal/doclint"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	os.Exit(doclint.Main(root))
+}
