@@ -26,7 +26,9 @@ type SysdlOptions struct {
 	Force     bool
 
 	// sweep-verb flags: comma-separated axis values ("" = defaults)
-	// and the worker-pool bound (0 = GOMAXPROCS).
+	// and the worker-pool bound (0 = GOMAXPROCS). Workers doubles as
+	// the run verb's intra-run shard count (deterministic: every
+	// count produces byte-identical output).
 	SweepPolicies   string
 	SweepQueues     string
 	SweepCapacities string
@@ -35,7 +37,9 @@ type SysdlOptions struct {
 
 	// fuzz-verb flags: scenario count and generation knobs. The fuzz
 	// verb also reuses -seed (base seed), -queues (> 0 forces an
-	// absolute under-budget probe) and -workers.
+	// absolute under-budget probe) and -workers; -run-workers N > 1
+	// additionally cross-checks every simulation against a sharded
+	// re-run (the parallel-equivalence oracle).
 	FuzzN          int
 	FuzzMutations  int
 	FuzzCyclic     bool
@@ -43,6 +47,7 @@ type SysdlOptions struct {
 	FuzzInterleave int
 	FuzzTopology   string
 	FuzzLookahead  int
+	RunWorkers     int
 
 	// serve-verb flags: listen address, compiled-scenario cache bound,
 	// and the process-wide concurrent-simulation budget.
@@ -78,7 +83,7 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.StringVar(&o.SweepQueues, "sweep-queues", o.SweepQueues, "sweep: comma-separated queue budgets, 0 = auto (default 0,1,2,3)")
 	fs.StringVar(&o.SweepCapacities, "sweep-capacities", o.SweepCapacities, "sweep: comma-separated capacities (default 1,2)")
 	fs.StringVar(&o.SweepLookaheads, "sweep-lookaheads", o.SweepLookaheads, "sweep: comma-separated lookahead budgets, 0 = strict (default 0,2)")
-	fs.IntVar(&o.Workers, "workers", o.Workers, "sweep/fuzz: worker-pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&o.Workers, "workers", o.Workers, "run: intra-run shards (byte-identical output for any count); sweep/fuzz: worker-pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&o.FuzzN, "n", o.FuzzN, "fuzz: number of scenarios (seeds seed..seed+n-1)")
 	fs.IntVar(&o.FuzzMutations, "fuzz-mutations", o.FuzzMutations, "fuzz: adjacent-op swaps per scenario (0 = deadlock-free by construction)")
 	fs.BoolVar(&o.FuzzCyclic, "fuzz-cyclic", o.FuzzCyclic, "fuzz: allow cyclic data flow")
@@ -86,6 +91,7 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.IntVar(&o.FuzzInterleave, "fuzz-interleave", o.FuzzInterleave, "fuzz: interleave depth (0 = per-seed random)")
 	fs.StringVar(&o.FuzzTopology, "fuzz-topology", o.FuzzTopology, "fuzz: auto|linear|ring|mesh")
 	fs.IntVar(&o.FuzzLookahead, "fuzz-lookahead", o.FuzzLookahead, "fuzz: §8 analysis budget (0 = strict)")
+	fs.IntVar(&o.RunWorkers, "run-workers", o.RunWorkers, "sweep: shard each grid point across this many workers (limiter-bounded); fuzz: cross-check each simulation against a sharded re-run")
 	fs.StringVar(&o.Addr, "addr", o.Addr, "serve: listen address")
 	fs.IntVar(&o.CacheSize, "cache-size", o.CacheSize, "serve: compiled-scenario cache bound (entries)")
 	fs.IntVar(&o.MaxConcurrency, "max-concurrency", o.MaxConcurrency, "serve: concurrent simulations (0 = GOMAXPROCS)")
@@ -193,6 +199,7 @@ func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
 			Seed:           opts.Seed,
 			RecordTimeline: opts.Timeline,
 			Force:          opts.Force,
+			Workers:        opts.Workers,
 		})
 		if err != nil {
 			return 1, err
@@ -224,7 +231,7 @@ func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
 		}
 		cases := []systolic.SweepCase{{Name: "program", Program: p, Topology: topo}}
 		rep, err := systolic.Sweep(context.Background(), cases, axes,
-			systolic.SweepOptions{Workers: opts.Workers})
+			systolic.SweepOptions{Workers: opts.Workers, RunWorkers: opts.RunWorkers})
 		if err != nil {
 			return 1, err
 		}
@@ -260,6 +267,7 @@ func Fuzz(w io.Writer, opts SysdlOptions) (int, error) {
 		QueueOverride: opts.Queues,
 		Lookahead:     opts.FuzzLookahead,
 		Workers:       opts.Workers,
+		RunWorkers:    opts.RunWorkers,
 	}
 	// Bad generation knobs (e.g. -fuzz-cells 1) fail for every seed
 	// identically: catch them once up front as a usage error instead

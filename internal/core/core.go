@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -260,6 +261,14 @@ type ExecOptions struct {
 	// deliberately under-provisioned runs (used to demonstrate the
 	// failure modes the theorem excludes).
 	Force bool
+	// Workers selects deterministic sharded execution (0 or 1 =
+	// single-threaded). Every worker count produces byte-identical
+	// results; see machine.ExecOptions.Workers for the contract,
+	// including the concurrent-Logic caveat.
+	Workers int
+	// Context, when non-nil, cancels the run between simulated cycles;
+	// Execute then returns the wrapped context error.
+	Context context.Context
 }
 
 // MinQueues returns Theorem 1's queues-per-link requirement for a
@@ -312,6 +321,9 @@ func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
 	if opts.MaxCycles < 0 {
 		return nil, &OptionError{Op: "Execute", Field: "MaxCycles", Reason: fmt.Sprintf("negative cycle bound %d", opts.MaxCycles)}
 	}
+	if opts.Workers < 0 {
+		return nil, &OptionError{Op: "Execute", Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
+	}
 	switch opts.Policy {
 	case DynamicCompatible, StaticAssignment, NaiveFCFS, NaiveLIFO, NaiveRandom, NaiveAdversarial:
 	default:
@@ -356,5 +368,7 @@ func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
 		Logic:            opts.Logic,
 		MaxCycles:        opts.MaxCycles,
 		RecordTimeline:   opts.RecordTimeline,
+		Workers:          opts.Workers,
+		Context:          opts.Context,
 	})
 }

@@ -38,6 +38,7 @@ package diff
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"strings"
 
 	"systolic/internal/core"
@@ -73,6 +74,12 @@ type Options struct {
 	MaxCycles int
 	// Workers bounds Run's pool (≤ 0 = GOMAXPROCS).
 	Workers int
+	// RunWorkers, when > 1, turns every simulation into a differential
+	// pair: the oracle executes each configuration single-threaded and
+	// again sharded across RunWorkers workers, and any byte-level
+	// divergence between the two results is a "parallel-equivalence"
+	// violation. This is the sysdl fuzz -run-workers knob.
+	RunWorkers int
 	// ShrinkBudget caps property evaluations spent minimizing one
 	// counterexample (0 = 200).
 	ShrinkBudget int
@@ -109,8 +116,8 @@ type Finding struct {
 	Seed int64
 	// Invariant names what was checked: "theorem1-completion",
 	// "stream-equality", "stream-integrity", "label-consistency",
-	// "under-budget-deadlock", "analyze-error", "exec-error",
-	// "generate-error".
+	// "under-budget-deadlock", "parallel-equivalence",
+	// "analyze-error", "exec-error", "generate-error".
 	Invariant string
 	// Expected marks anticipated findings (under-budget deadlocks);
 	// everything else is a violation.
@@ -255,6 +262,38 @@ func Check(sc *gen.Scenario, opts Options) Result {
 					cfg.Detail = err.Error()
 					fail(cfg)
 					continue
+				}
+				// Parallel-equivalence: with a run-worker count set,
+				// every simulation is executed a second time, sharded,
+				// and must reproduce the single-threaded result byte
+				// for byte (the Theorem 1 oracle doubling as the
+				// determinism oracle for machine.RunParallel).
+				if opts.RunWorkers > 1 {
+					rp, perr := core.Execute(a, core.ExecOptions{
+						Policy:        pol,
+						QueuesPerLink: q,
+						Capacity:      capacity,
+						MaxCycles:     opts.MaxCycles,
+						Workers:       opts.RunWorkers,
+						Force:         true,
+					})
+					res.Runs++
+					if perr == nil && rp.Completed {
+						res.Completed++
+					}
+					switch {
+					case perr != nil:
+						pcfg := cfg
+						pcfg.Invariant = "parallel-equivalence"
+						pcfg.Detail = fmt.Sprintf("sharded run (workers=%d) errored where single-threaded succeeded: %v", opts.RunWorkers, perr)
+						fail(pcfg)
+					case !reflect.DeepEqual(r, rp):
+						pcfg := cfg
+						pcfg.Invariant = "parallel-equivalence"
+						pcfg.Detail = fmt.Sprintf("sharded run (workers=%d) diverged from single-threaded run: %s vs %s after %d vs %d cycles",
+							opts.RunWorkers, rp.Outcome(), r.Outcome(), rp.Cycles, r.Cycles)
+						fail(pcfg)
+					}
 				}
 				switch {
 				case r.Completed:

@@ -51,6 +51,16 @@ import (
 // the reference scan could act on, so skipped entries are exactly its
 // no-ops.
 //
+// Since the deterministic-sharding refactor every ready-set phase is
+// written against a shard: fn(s) visits only the entries shard s owns
+// (a contiguous position chunk of the sorted work list, or the
+// messages whose contended cell lies in s's cell range) and defers
+// every shared-structure effect to sinks[s], which the coordinator
+// merges in ascending shard order after the phase (see parallel.go
+// for the ownership and merge-order argument). Workers=1 runs the
+// same phases over a single shard — there is no separate sequential
+// scheduler to drift from.
+//
 // Blocked-cycle accounting is derived in closed form at the end of a
 // run (per cell: cycles elapsed while unfinished minus ops issued)
 // instead of a per-cycle scan; the result is bit-identical to the
@@ -143,6 +153,29 @@ type exec struct {
 	arena    []Word   // backing store for all received words; fresh per run
 
 	ctx assign.Context // per-run policy context; fields are shared read-only views
+
+	// Sharded-execution state (see parallel.go). workers is the shard
+	// count (1 = single-threaded); recvShard/sendShard map each message
+	// to the shard owning its receiver/sender cell (only filled when
+	// workers > 1); keep flags the transport entries surviving the read
+	// phase's compaction; gang is the run-scoped worker pool (nil when
+	// workers == 1). The fn* fields hold the phase closures, bound once
+	// per exec so dispatch never allocates.
+	workers     int
+	recvShard   []int32
+	sendShard   []int32
+	sinks       []sink
+	keep        []bool
+	gang        *gang
+	hasInterior bool // any route longer than one hop
+	cancel      <-chan struct{}
+	cancelled   bool
+	fnFirstHop  func(int)
+	fnInterior  func(int)
+	fnReads     func(int)
+	fnAdvances  func(int)
+	fnWrites    func(int)
+	fnRelease   func(int)
 
 	res   Result
 	stats Stats
@@ -269,6 +302,49 @@ func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int) {
 	e.armedSpare = e.armedSpare[:0]
 	e.cooling = e.cooling[:0]
 
+	// Shard layout. The worker count is clamped to the cell count (an
+	// empty shard can own nothing) and to maxWorkers; the clamp is
+	// invisible in the Result because every worker count produces the
+	// same bytes.
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	if workers > cells && cells > 0 {
+		workers = cells
+	}
+	e.workers = workers
+	e.sinks = grow(e.sinks, workers)
+	for i := range e.sinks {
+		e.sinks[i].reset()
+	}
+	if workers > 1 {
+		e.recvShard = grow(e.recvShard, msgs)
+		e.sendShard = grow(e.sendShard, msgs)
+		for id := 0; id < msgs; id++ {
+			e.recvShard[id] = int32(shardOf(int(m.receiver[id]), cells, workers))
+			e.sendShard[id] = int32(shardOf(int(m.sender[id]), cells, workers))
+		}
+	}
+	e.gang = nil // spawned lazily by the first fanout that needs it
+	e.hasInterior = m.maxRouteLen > 1
+	e.cancel = nil
+	e.cancelled = false
+	if opts.Context != nil {
+		e.cancel = opts.Context.Done()
+	}
+	if e.fnFirstHop == nil {
+		e.fnFirstHop = e.collectFirstHopShard
+		e.fnInterior = e.collectInteriorShard
+		e.fnReads = e.readShard
+		e.fnAdvances = e.advanceShard
+		e.fnWrites = e.writeShard
+		e.fnRelease = e.releaseShard
+	}
+
 	e.received = make([][]Word, msgs)
 	e.arena = make([]Word, m.totalWords)
 	e.res = Result{}
@@ -279,16 +355,30 @@ func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int) {
 
 // release clears every reference that escaped into the returned
 // Result (and the per-run inputs) before the exec returns to the
-// machine's pool.
+// machine's pool. It also stops a still-live gang: run() tears the
+// gang down on every exit path, but a run that never starts — a
+// Policy.Setup failure after init — would otherwise strand the
+// workers forever when the pooled exec is reused or dropped.
 func (e *exec) release() {
+	if e.gang != nil {
+		e.gang.stop()
+		e.gang = nil
+	}
 	e.m = nil
 	e.logic = nil
 	e.policy = nil
 	e.received = nil
 	e.arena = nil
+	e.cancel = nil
 	e.ctx = assign.Context{}
 	e.res = Result{}
 	e.stats = Stats{}
+}
+
+// owns reports whether shard s owns cell c. With one worker the
+// shard maps are not built and shard 0 owns everything.
+func (e *exec) owns(s int, shard []int32, id model.MessageID) bool {
+	return e.workers == 1 || int(shard[id]) == s
 }
 
 // poolOf returns the pool serving hop i of message id under the
@@ -313,17 +403,12 @@ func (e *exec) hopOn(pool int, msg model.MessageID) int {
 	return -1
 }
 
+// armPool re-arms a pool immediately. Coordinator-only (grantPhase);
+// sharded phases defer arming through their sink instead.
 func (e *exec) armPool(p int) {
 	if !e.poolArmed[p] {
 		e.poolArmed[p] = true
 		e.armed = append(e.armed, p)
-	}
-}
-
-func (e *exec) markCellDirty(c int) {
-	if !e.cellDirty[c] {
-		e.cellDirty[c] = true
-		e.dirtyCells = append(e.dirtyCells, c)
 	}
 }
 
@@ -336,11 +421,13 @@ func insertMsg(list []model.MessageID, id model.MessageID) []model.MessageID {
 	return list
 }
 
-// noteTransport records that id now has buffered words.
-func (e *exec) noteTransport(id model.MessageID) {
+// noteTransport records that id now has buffered words. The flag is
+// owned by the calling shard (id's sender); the list insertion is
+// deferred to the merge.
+func (e *exec) noteTransport(id model.MessageID, sk *sink) {
 	if !e.inTransport[id] {
 		e.inTransport[id] = true
-		e.transport = insertMsg(e.transport, id)
+		sk.transport = append(sk.transport, id)
 	}
 }
 
@@ -348,7 +435,18 @@ func (e *exec) noteTransport(id model.MessageID) {
 // first-hop queue bound. Called from the grant hook and the
 // pc-advance hook, which together cover both orders the two
 // conditions can become true in.
-func (e *exec) noteWriter(id model.MessageID) {
+func (e *exec) noteWriter(id model.MessageID, sk *sink) {
+	if !e.writeReady[id] {
+		e.writeReady[id] = true
+		sk.writers = append(sk.writers, id)
+	}
+}
+
+// noteWriterNow is noteWriter for the coordinator-only grant phase,
+// which must insert immediately: the writer snapshot taken at the top
+// of the same cycle's transfer phase has to see grants made this
+// cycle, exactly as the reference engine's in-line insertion does.
+func (e *exec) noteWriterNow(id model.MessageID) {
 	if !e.writeReady[id] {
 		e.writeReady[id] = true
 		e.writers = insertMsg(e.writers, id)
@@ -356,50 +454,68 @@ func (e *exec) noteWriter(id model.MessageID) {
 }
 
 // noteReqCheck records a push into one of id's queues: its next hop
-// may now be requestable.
-func (e *exec) noteReqCheck(id model.MessageID) {
+// may now be requestable. On machines where every route is a single
+// hop there are no interior hops to request, so the set stays empty
+// and the interior phases are skipped outright.
+func (e *exec) noteReqCheck(id model.MessageID, sk *sink) {
+	if !e.hasInterior {
+		return
+	}
 	if !e.reqFlag[id] {
 		e.reqFlag[id] = true
-		e.reqCheck = append(e.reqCheck, id)
+		sk.reqCheck = append(sk.reqCheck, id)
 	}
 }
 
 // noteMoved records a departure event: one of id's queues may now be
 // releasable.
-func (e *exec) noteMoved(id model.MessageID) {
+func (e *exec) noteMoved(id model.MessageID, sk *sink) {
 	if !e.movedFlag[id] {
 		e.movedFlag[id] = true
-		e.movedMsgs = append(e.movedMsgs, id)
+		sk.moved = append(sk.moved, id)
 	}
 }
 
 // noteCooling registers a queue whose Pop may have armed an
 // extension-access cooldown.
-func (e *exec) noteCooling(qi *queueInst) {
+func (e *exec) noteCooling(qi *queueInst, sk *sink) {
 	if !qi.cooling && qi.q.Cooling() {
 		qi.cooling = true
-		e.cooling = append(e.cooling, qi.slot)
+		sk.cooling = append(sk.cooling, qi.slot)
+	}
+}
+
+// markCellDirty flags a cell whose pc advanced. The flag is owned by
+// the calling shard (c is one of its cells).
+func (e *exec) markCellDirty(c int, sk *sink) {
+	if !e.cellDirty[c] {
+		e.cellDirty[c] = true
+		sk.dirty = append(sk.dirty, c)
 	}
 }
 
 // advancePC issues cell c's front op: one op per cell per cycle. When
 // the new front op is a write on an already-granted message, the
 // message joins the writer set directly; otherwise the dirty-cell
-// pass handles any first-hop queue request.
-func (e *exec) advancePC(c int) {
+// pass handles any first-hop queue request. Only c's owning shard may
+// call this.
+func (e *exec) advancePC(c int, sk *sink) {
 	e.pc[c]++
 	e.issued[c] = true
-	e.issuedList = append(e.issuedList, c)
+	sk.issued = append(sk.issued, c)
 	if e.pc[c] >= len(e.m.code(c)) {
 		e.finishedAt[c] = e.now
-		e.remaining--
+		sk.remainingDelta--
 		return
 	}
-	e.markCellDirty(c)
+	e.markCellDirty(c, sk)
 	if op := e.m.code(c)[e.pc[c]]; op.Kind == model.Write {
 		ms := &e.msgs[op.Msg]
+		// Reading another message's queue-pointer table is safe here:
+		// bindings only change in the grant and release phases, which
+		// never overlap a phase that advances program counters.
 		if len(ms.queues) > 0 && ms.queues[0] != nil {
-			e.noteWriter(op.Msg)
+			e.noteWriter(op.Msg, sk)
 		}
 	}
 }
@@ -407,10 +523,26 @@ func (e *exec) advancePC(c int) {
 // run executes the scheduler loop. The cycle structure — tick,
 // collect, grant, transfer, release, deadlock check — is the
 // reference engine's, with each phase visiting only its ready set.
+// The gang (when present) is torn down on every exit path, so a
+// pooled exec never strands goroutines.
 func (e *exec) run(maxCycles int) {
+	defer func() {
+		if e.gang != nil {
+			e.gang.stop()
+			e.gang = nil
+		}
+	}()
 	for e.now = 0; e.now < maxCycles; e.now++ {
 		if e.remaining == 0 {
 			break
+		}
+		if e.cancel != nil {
+			select {
+			case <-e.cancel:
+				e.cancelled = true
+				return
+			default:
+			}
 		}
 		e.moved = false
 		e.tickCooling()
@@ -459,10 +591,31 @@ func (e *exec) anyCooling() bool {
 // its header is buffered at the cell feeding that hop (§5). First-hop
 // checks run over dirty cells in cell order, then interior checks
 // over live messages in message order — the same relative append
-// order the reference full scan produces.
+// order the reference full scan produces. Both sub-phases chunk their
+// sorted list by position; the shard-order merge restores the full
+// sorted append order for any worker count.
 func (e *exec) collectRequests() {
 	slices.Sort(e.dirtyCells)
-	for _, c := range e.dirtyCells {
+	e.fanout(len(e.dirtyCells), e.fnFirstHop)
+	e.mergeSinks()
+	e.dirtyCells = e.dirtyCells[:0]
+
+	if e.hasInterior {
+		slices.Sort(e.reqCheck)
+		e.fanout(len(e.reqCheck), e.fnInterior)
+		e.mergeSinks()
+		e.reqCheck = e.reqCheck[:0]
+	}
+}
+
+// collectFirstHopShard checks shard s's chunk of the dirty cells for
+// senders parked at an unrequested W. Every touched flag (cellDirty,
+// requested[0]) belongs to the chunk's own cells and messages — a
+// message's first-hop request can only come from its one sender.
+func (e *exec) collectFirstHopShard(s int) {
+	sk := &e.sinks[s]
+	lo, hi := chunk(len(e.dirtyCells), e.workers, s)
+	for _, c := range e.dirtyCells[lo:hi] {
 		e.cellDirty[c] = false
 		code := e.m.code(c)
 		if e.pc[c] >= len(code) {
@@ -476,19 +629,21 @@ func (e *exec) collectRequests() {
 		if len(ms.queues) > 0 && !ms.requested[0] {
 			ms.requested[0] = true
 			pool := e.poolOf(op.Msg, 0)
-			e.pending[pool] = append(e.pending[pool], op.Msg)
-			e.armPool(pool)
+			sk.pending = append(sk.pending, pendReq{pool: pool, msg: op.Msg})
+			sk.armed = append(sk.armed, pool)
 		}
 	}
-	e.dirtyCells = e.dirtyCells[:0]
+}
 
-	// Interior requests: only messages pushed into since the last
-	// collect can have a newly non-empty queue; requested flags make
-	// re-checks of older non-empty queues no-ops, so this subset in
-	// ascending order appends to the pending lists exactly as the
-	// full message scan did.
-	slices.Sort(e.reqCheck)
-	for _, id := range e.reqCheck {
+// collectInteriorShard checks shard s's chunk of the reqCheck set:
+// only messages pushed into since the last collect can have a newly
+// non-empty queue; requested flags make re-checks of older non-empty
+// queues no-ops, so this subset in ascending order appends to the
+// pending lists exactly as the full message scan did.
+func (e *exec) collectInteriorShard(s int) {
+	sk := &e.sinks[s]
+	lo, hi := chunk(len(e.reqCheck), e.workers, s)
+	for _, id := range e.reqCheck[lo:hi] {
 		e.reqFlag[id] = false
 		ms := &e.msgs[id]
 		for hop := 1; hop < len(ms.queues); hop++ {
@@ -498,18 +653,19 @@ func (e *exec) collectRequests() {
 			if ms.queues[hop-1].q.Len() > 0 {
 				ms.requested[hop] = true
 				pool := e.poolOf(id, hop)
-				e.pending[pool] = append(e.pending[pool], id)
-				e.armPool(pool)
+				sk.pending = append(sk.pending, pendReq{pool: pool, msg: id})
+				sk.armed = append(sk.armed, pool)
 			}
 		}
 	}
-	e.reqCheck = e.reqCheck[:0]
 }
 
 // grantPhase invokes the policy for every armed pool in ascending
 // pool order. A pool re-arms whenever its free count or pending list
 // changes, so every invocation the reference engine's per-cycle sweep
-// would have made that could matter is made here too.
+// would have made that could matter is made here too. The phase runs
+// entirely on the coordinator: policy instances are stateful and
+// their call order is part of the observable behavior.
 func (e *exec) grantPhase() {
 	cur := e.armed
 	e.armed = e.armedSpare[:0]
@@ -557,7 +713,7 @@ func (e *exec) grantPhase() {
 				code := e.m.code(c)
 				if e.pc[c] < len(code) {
 					if op := code[e.pc[c]]; op.Kind == model.Write && op.Msg == msg {
-						e.noteWriter(msg)
+						e.noteWriterNow(msg)
 					}
 				}
 			}
@@ -589,7 +745,12 @@ func (e *exec) removePending(pool int, msg model.MessageID) {
 // operation per cycle. All four sub-phases iterate live messages in
 // ascending id order; a cell's front op names exactly one message, so
 // this visits the same actions as the reference engine's cell-order
-// scans.
+// scans. Reads are sharded by receiver cell and writes by sender cell
+// (the issue slot is the only cross-message contention point, and it
+// is always intra-shard); interior advances, which are fully
+// message-local, chunk by position. One merge at the end covers all
+// four sub-phases: nothing they defer is consumed before the release
+// phase.
 func (e *exec) cellAndTransferPhase() {
 	for _, c := range e.issuedList {
 		e.issued[c] = false
@@ -611,21 +772,59 @@ func (e *exec) cellAndTransferPhase() {
 	e.writers = e.writers[:w]
 	e.writerScratch = cur
 
-	// 1. Receiver reads from buffered last-hop queues. Only messages
-	// with buffered words can serve a read; stale transport entries
-	// (fully drained) compact away here.
+	// 1. Receiver reads from buffered last-hop queues, sharded by
+	// receiver cell. Workers flag the surviving entries; the
+	// coordinator compacts afterwards, preserving ascending order.
+	e.keep = grow(e.keep, len(e.transport))
+	clear(e.keep)
+	e.fanout(len(e.transport), e.fnReads)
 	wt := 0
-	for _, id := range e.transport {
-		if !e.inTransport[id] {
+	for i, id := range e.transport {
+		if e.keep[i] {
+			e.transport[wt] = id
+			wt++
+		}
+	}
+	e.transport = e.transport[:wt]
+
+	// 2. Interior advances, last hop toward receiver first. Single-hop
+	// machines have no interior queues to advance.
+	if e.hasInterior {
+		e.fanout(len(e.transport), e.fnAdvances)
+	}
+
+	// 3. Capacity-0 rendezvous: single-hop messages hand a word
+	//    directly from a writing sender to a reading receiver. Runs on
+	//    the coordinator (it issues at two cells at once).
+	if e.capacity == 0 {
+		e.rendezvous(&e.sinks[0])
+	}
+
+	// 4. Sender writes into first-hop queues, sharded by sender cell.
+	e.fanout(len(e.writerScratch), e.fnWrites)
+
+	e.mergeSinks()
+}
+
+// readShard serves receiver reads for the transport entries shard s
+// owns (messages whose receiver cell is in s's range). Only messages
+// with buffered words can serve a read; stale transport entries
+// (fully drained) are marked for compaction here.
+func (e *exec) readShard(s int) {
+	sk := &e.sinks[s]
+	for i, id := range e.transport {
+		if !e.owns(s, e.recvShard, id) {
 			continue
+		}
+		if !e.inTransport[id] {
+			continue // stale: keep[i] stays false
 		}
 		ms := &e.msgs[id]
 		if ms.written == ms.read {
 			e.inTransport[id] = false
 			continue
 		}
-		e.transport[wt] = id
-		wt++
+		e.keep[i] = true
 		last := len(ms.queues) - 1
 		if last < 0 || ms.queues[last] == nil {
 			continue
@@ -645,19 +844,25 @@ func (e *exec) cellAndTransferPhase() {
 			continue
 		}
 		word := qi.q.Pop()
-		e.noteCooling(qi)
+		e.noteCooling(qi, sk)
 		e.logic.OnRead(cell, id, ms.read, word)
 		e.deliver(id, word)
 		ms.read++
 		ms.departed[last]++
-		e.noteMoved(id)
-		e.advancePC(c)
-		e.moved = true
-		e.stats.WordsMoved++
+		e.noteMoved(id, sk)
+		e.advancePC(c, sk)
+		sk.anyEvent = true
+		sk.wordsMoved++
 	}
-	e.transport = e.transport[:wt]
-	// 2. Interior advances, last hop toward receiver first.
-	for _, id := range e.transport {
+}
+
+// advanceShard moves words between interior queues for shard s's
+// position chunk of the transport set. Every touched queue is bound
+// to the chunk's own message, so chunks never contend.
+func (e *exec) advanceShard(s int) {
+	sk := &e.sinks[s]
+	lo, hi := chunk(len(e.transport), e.workers, s)
+	for _, id := range e.transport[lo:hi] {
 		ms := &e.msgs[id]
 		for hop := len(ms.queues) - 2; hop >= 0; hop-- {
 			src, dst := ms.queues[hop], ms.queues[hop+1]
@@ -666,22 +871,26 @@ func (e *exec) cellAndTransferPhase() {
 			}
 			if src.q.FrontReady() && dst.q.CanAccept() {
 				dst.q.Push(src.q.Pop())
-				e.noteCooling(src)
+				e.noteCooling(src, sk)
 				ms.departed[hop]++
-				e.noteMoved(id)
-				e.noteReqCheck(id)
-				e.moved = true
-				e.stats.WordsMoved++
+				e.noteMoved(id, sk)
+				e.noteReqCheck(id, sk)
+				sk.anyEvent = true
+				sk.wordsMoved++
 			}
 		}
 	}
-	// 3. Capacity-0 rendezvous: single-hop messages hand a word
-	//    directly from a writing sender to a reading receiver.
-	if e.capacity == 0 {
-		e.rendezvous()
-	}
-	// 4. Sender writes into first-hop queues.
+}
+
+// writeShard pushes sender words into first-hop queues for the
+// writer-snapshot entries shard s owns (messages whose sender cell is
+// in s's range).
+func (e *exec) writeShard(s int) {
+	sk := &e.sinks[s]
 	for _, id := range e.writerScratch {
+		if !e.owns(s, e.sendShard, id) {
+			continue
+		}
 		if !e.writeReady[id] {
 			continue
 		}
@@ -711,17 +920,17 @@ func (e *exec) cellAndTransferPhase() {
 		}
 		qi.q.Push(e.logic.Produce(cell, id, ms.written))
 		ms.written++
-		e.noteTransport(id)
-		e.noteReqCheck(id)
-		e.advancePC(c)
-		e.moved = true
+		e.noteTransport(id, sk)
+		e.noteReqCheck(id, sk)
+		e.advancePC(c, sk)
+		sk.anyEvent = true
 	}
 }
 
 // rendezvous matches W(m) senders with R(m) receivers over bound
 // capacity-0 latches: the word passes through without ever being
 // buffered, the paper's "queues are just latches" regime.
-func (e *exec) rendezvous() {
+func (e *exec) rendezvous(sk *sink) {
 	// A rendezvous needs the sender parked at W(id) over a bound
 	// latch — precisely the writer set (capacity 0 admits only
 	// single-hop routes, so every entry here is a latch candidate).
@@ -754,24 +963,36 @@ func (e *exec) rendezvous() {
 		ms.written++
 		ms.read++
 		ms.departed[0]++
-		e.noteMoved(id)
-		e.advancePC(sc)
-		e.advancePC(rc)
-		e.moved = true
-		e.stats.WordsMoved++
+		e.noteMoved(id, sk)
+		e.advancePC(sc, sk)
+		e.advancePC(rc, sk)
+		sk.anyEvent = true
+		sk.wordsMoved++
 	}
 }
 
 // releasePhase frees queues whose message has fully passed (§2.3: a
 // queue may be reassigned only after the current message's last word
-// has passed it) and retires messages with nothing left bound.
+// has passed it) and retires messages with nothing left bound. The
+// moved set is sorted, chunked by position, and merged in shard
+// order, so release-side timeline events keep their ascending-message
+// order for any worker count.
 func (e *exec) releasePhase() {
-	// A queue becomes releasable exactly on the cycle its message's
-	// last word departs it (the queue is empty at that same instant),
-	// so the messages with departure events this cycle are the only
-	// release candidates.
 	slices.Sort(e.movedMsgs)
-	for _, id := range e.movedMsgs {
+	e.fanout(len(e.movedMsgs), e.fnRelease)
+	e.mergeSinks()
+	e.movedMsgs = e.movedMsgs[:0]
+}
+
+// releaseShard frees the releasable queues of shard s's chunk of the
+// moved set. A queue becomes releasable exactly on the cycle its
+// message's last word departs it (the queue is empty at that same
+// instant), so the messages with departure events this cycle are the
+// only release candidates.
+func (e *exec) releaseShard(s int) {
+	sk := &e.sinks[s]
+	lo, hi := chunk(len(e.movedMsgs), e.workers, s)
+	for _, id := range e.movedMsgs[lo:hi] {
 		e.movedFlag[id] = false
 		ms := &e.msgs[id]
 		words := e.m.words[id]
@@ -784,15 +1005,14 @@ func (e *exec) releasePhase() {
 				qi.bound = false
 				qi.q.Reset()
 				ms.queues[hop] = nil // keep granted=true: the message had its turn
-				e.stats.Releases++
-				e.armPool(e.poolOf(id, hop))
+				sk.releases++
+				sk.armed = append(sk.armed, e.poolOf(id, hop))
 				if e.recordTimeline {
-					e.res.Timeline = append(e.res.Timeline, BindEvent{Cycle: e.now, Link: qi.link, QueueIdx: qi.idx, Msg: id, Bound: false})
+					sk.timeline = append(sk.timeline, BindEvent{Cycle: e.now, Link: qi.link, QueueIdx: qi.idx, Msg: id, Bound: false})
 				}
 			}
 		}
 	}
-	e.movedMsgs = e.movedMsgs[:0]
 }
 
 // result assembles the run's Result. Blocked-cycle accounting is the

@@ -21,7 +21,9 @@
 package machine
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -182,6 +184,25 @@ type ExecOptions struct {
 	// RecordTimeline captures bind/release events for rendering
 	// (Fig 7's lower half).
 	RecordTimeline bool
+	// Workers selects deterministic sharded execution: each cycle's
+	// phases fan out across this many shards with per-phase barriers,
+	// and shard effects merge in fixed shard order, so the Result is
+	// byte-identical for every worker count — reports, deadlock
+	// traces, timelines, and statistics included. 0 and 1 both mean
+	// single-threaded; values above 64 (or above the cell count) are
+	// clamped; negative is a ConfigError.
+	//
+	// With Workers > 1 a non-nil Logic may be called concurrently for
+	// distinct cells. All calls for one cell stay serialized in
+	// program order on one shard, so per-cell state (slices indexed by
+	// cell, as every workload in this repository uses) needs no
+	// synchronization; state shared across cells must be read-only
+	// during the run or synchronized by the implementation.
+	Workers int
+	// Context, when non-nil, cancels the run between cycles: Run
+	// returns a wrapped context error instead of a Result. A nil
+	// Context never cancels.
+	Context context.Context
 }
 
 // hopRef is one compiled route hop: the physical link plus the queue
@@ -430,6 +451,9 @@ func (m *Machine) Run(opts ExecOptions) (*Result, error) {
 	if opts.ExtPenalty < 0 {
 		return nil, &ConfigError{Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", opts.ExtPenalty)}
 	}
+	if opts.Workers < 0 {
+		return nil, &ConfigError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
+	}
 	if opts.Capacity == 0 {
 		if m.multiHopMsg >= 0 {
 			return nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf(
@@ -477,9 +501,29 @@ func (m *Machine) Run(opts ExecOptions) (*Result, error) {
 		return nil, err
 	}
 	e.run(maxCycles)
+	if e.cancelled {
+		err := fmt.Errorf("machine: run cancelled after %d cycles: %w", e.now, context.Cause(opts.Context))
+		e.release()
+		pool.Put(e)
+		return nil, err
+	}
 	out := new(Result)
 	*out = e.result()
 	e.release()
 	pool.Put(e)
 	return out, nil
+}
+
+// RunParallel is Run with Workers defaulted to runtime.GOMAXPROCS(0)
+// when unset: the whole-machine entry point for callers that want
+// intra-run parallelism without choosing a shard count. Like every
+// worker count, its Result is byte-identical to the single-threaded
+// run — the equivalence suite in internal/sim replays the fuzz corpus
+// and hundreds of generated scenarios across worker counts to enforce
+// exactly that.
+func (m *Machine) RunParallel(opts ExecOptions) (*Result, error) {
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return m.Run(opts)
 }

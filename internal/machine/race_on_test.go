@@ -1,0 +1,8 @@
+//go:build race
+
+package machine
+
+// raceEnabled reports whether the race detector instruments this
+// build; stress sizes and allocation-sensitive assertions adjust
+// themselves when it does.
+const raceEnabled = true

@@ -285,6 +285,9 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 			return badRequest(err)
 		}
 	}
+	if req.Workers < 0 {
+		return badRequest(fmt.Errorf("negative workers %d (0 = single-threaded)", req.Workers))
+	}
 	e, cached, err := s.lookup(req.Program, req.Analyze)
 	if err != nil {
 		return err
@@ -296,6 +299,12 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 	if err := s.limiter.Acquire(ctx); err != nil {
 		return &statusError{code: http.StatusServiceUnavailable, err: fmt.Errorf("cancelled while waiting for a run slot: %w", err)}
 	}
+	// Intra-run sharding against the slot acquired above: each extra
+	// shard must win its own -max-concurrency slot, so a burst of
+	// sharded runs degrades shard counts, never the budget or the
+	// response bytes; see sweep.Limiter.ShardBudget.
+	workers, releaseShards := s.limiter.ShardBudget(req.Workers)
+	defer releaseShards()
 	res, err := core.Execute(a, core.ExecOptions{
 		Policy:        kind,
 		QueuesPerLink: req.Queues,
@@ -303,6 +312,10 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 		Seed:          req.Seed,
 		MaxCycles:     req.MaxCycles,
 		Force:         req.Force,
+		Workers:       workers,
+		// A dropped client cancels its simulation between cycles
+		// instead of burning the slot to completion.
+		Context: ctx,
 	})
 	s.limiter.Release()
 	if err != nil {

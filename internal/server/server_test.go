@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -126,6 +127,38 @@ func TestAnalyzeEndpoint(t *testing.T) {
 	}
 	if ar2.Scenario != ar.Scenario {
 		t.Fatal("scenario hash changed between identical requests")
+	}
+}
+
+// TestRunEndpointWorkers: a sharded /v1/run must return exactly the
+// single-threaded payload (determinism over the wire), bounded by the
+// shared -max-concurrency budget (no leaked slots afterwards), and a
+// negative worker count is a 400.
+func TestRunEndpointWorkers(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxConcurrency: 2})
+	strip := func(body []byte) RunResponse {
+		var rr RunResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		rr.ID = ""
+		rr.Cached = false
+		return rr
+	}
+	_, plain := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: relayDSL, Queues: 1})
+	resp, sharded := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: relayDSL, Queues: 1, Workers: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded run: status %d: %s", resp.StatusCode, sharded)
+	}
+	if !reflect.DeepEqual(strip(plain), strip(sharded)) {
+		t.Fatalf("workers=8 changed the response:\n%s\nvs\n%s", plain, sharded)
+	}
+	if inUse := s.limiter.InUse(); inUse != 0 {
+		t.Fatalf("limiter leaked %d slots after a sharded run", inUse)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: relayDSL, Workers: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("workers=-1: status %d: %s", resp.StatusCode, body)
 	}
 }
 

@@ -63,6 +63,12 @@ type RunRequest struct {
 	MaxCycles int `json:"maxCycles,omitempty"`
 	// Force runs even when Theorem 1's queue requirement is unmet.
 	Force bool `json:"force,omitempty"`
+	// Workers requests deterministic sharded execution for this run
+	// (0 or 1 = single-threaded). The response is byte-identical for
+	// every worker count; the server grants at most the concurrency
+	// the shared -max-concurrency budget has free, so a saturated
+	// daemon degrades the shard count, never the result.
+	Workers int `json:"workers,omitempty"`
 }
 
 // RunResponse is the body returned by POST /v1/run.

@@ -106,6 +106,10 @@ type Config struct {
 	// RecordTimeline captures bind/release events for rendering
 	// (Fig 7's lower half).
 	RecordTimeline bool
+	// Workers selects deterministic sharded execution (0 or 1 =
+	// single-threaded). Results are byte-identical for every worker
+	// count; see machine.ExecOptions.Workers.
+	Workers int
 }
 
 // Run simulates the program to completion, deadlock, or the cycle
@@ -140,6 +144,7 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 		Logic:            cfg.Logic,
 		MaxCycles:        cfg.MaxCycles,
 		RecordTimeline:   cfg.RecordTimeline,
+		Workers:          cfg.Workers,
 	})
 }
 

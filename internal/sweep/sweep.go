@@ -177,6 +177,14 @@ func (o Outcome) deadlocked() bool { return o.Result == "deadlocked" }
 type Options struct {
 	// Workers bounds the pool; ≤ 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// RunWorkers, when > 1, shards each grid point's simulation across
+	// up to that many workers (machine.ExecOptions.Workers). Combined
+	// with Limiter the product of sweep-level and run-level
+	// concurrency stays globally bounded: each extra shard must win a
+	// limiter slot (non-blocking), and a run that gets fewer — or none
+	// — simply shards less. Reports are byte-identical either way: the
+	// sharded runner produces the same bytes at every worker count.
+	RunWorkers int
 	// MaxCycles bounds each simulation (0 = the simulator's derived
 	// default).
 	MaxCycles int
@@ -359,12 +367,17 @@ func runOne(c Case, cfg Config, a *core.Analysis, aerr error, opts Options) Outc
 	}
 	o.MinQueues = a.MinQueues(cfg.Policy)
 	o.QueuesUsed = a.ResolveQueues(cfg.Policy, cfg.Queues)
+	// Intra-run sharding against the grid point's limiter slot; see
+	// Limiter.ShardBudget for the budget discipline.
+	workers, releaseShards := opts.Limiter.ShardBudget(opts.RunWorkers)
+	defer releaseShards()
 	res, err := core.Execute(a, core.ExecOptions{
 		Policy:        cfg.Policy,
 		QueuesPerLink: o.QueuesUsed,
 		Capacity:      cfg.Capacity,
 		Seed:          cfg.Seed,
 		MaxCycles:     opts.MaxCycles,
+		Workers:       workers,
 		// Force: under-provisioned grid points are the interesting
 		// ones — let them run and deadlock rather than be refused.
 		Force: true,

@@ -1,0 +1,74 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive
+// benchmark trajectories (e.g. BENCH_parallel.json: ns/sim-cycle for
+// the sharded runner, single-threaded vs 4 workers) without scraping
+// logs. Each benchmark line becomes one entry with its iteration
+// count and every reported metric, custom metrics included; non-bench
+// lines are ignored. The output is deterministic for a given input.
+//
+//	go test -run '^$' -bench BenchmarkRunParallel -benchmem . | go run ./tools/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one parsed benchmark result line.
+type entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// document is the emitted JSON shape.
+type document struct {
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkX-8  N  V unit  V unit ..." line;
+// ok is false for anything that is not a benchmark result.
+func parseLine(line string) (entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return entry{}, false
+	}
+	e := entry{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, true
+}
+
+func main() {
+	doc := document{Benchmarks: []entry{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if e, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	e, ok := parseLine("BenchmarkRunParallel/wide-linear-1024/workers=4-8  3  81334315 ns/op  26511 ns/sim-cycle  900 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if e.Name != "BenchmarkRunParallel/wide-linear-1024/workers=4-8" || e.Iterations != 3 {
+		t.Fatalf("parsed %+v", e)
+	}
+	for unit, want := range map[string]float64{"ns/op": 81334315, "ns/sim-cycle": 26511, "allocs/op": 900} {
+		if e.Metrics[unit] != want {
+			t.Errorf("metric %s = %v, want %v", unit, e.Metrics[unit], want)
+		}
+	}
+	for _, junk := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tsystolic\t0.7s",
+		"",
+		"Benchmark only-name",
+	} {
+		if _, ok := parseLine(junk); ok {
+			t.Errorf("non-benchmark line %q parsed", junk)
+		}
+	}
+}
