@@ -1,0 +1,109 @@
+// Package ctxloopfix exercises the ctxloop analyzer: blocking loops
+// with and without a cancellation path, bounded and compute-only
+// loops that are exempt, and core.ExecOptions literals with and
+// without a Context field. The test loads it under the sweep package
+// path, where both rules apply.
+package ctxloopfix
+
+import (
+	"context"
+
+	"systolic/internal/core"
+)
+
+type worker struct {
+	jobs chan int
+	quit chan struct{}
+}
+
+func drainForever(jobs chan int) int {
+	total := 0
+	for { // want `blocking loop does not observe context cancellation`
+		total += <-jobs
+	}
+}
+
+func sendForever(out chan int) {
+	for { // want `blocking loop does not observe context cancellation`
+		out <- 1
+	}
+}
+
+func selectForever(a, b chan int) {
+	for { // want `blocking loop does not observe context cancellation`
+		select {
+		case <-a:
+		case <-b:
+		}
+	}
+}
+
+func drainWithCtx(ctx context.Context, jobs chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case j := <-jobs:
+			total += j
+		}
+	}
+}
+
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.quit: // shutdown-named channel counts as cancellation
+			return
+		case j := <-w.jobs:
+			_ = j
+		}
+	}
+}
+
+func polling(jobs chan int) int {
+	// A select with a default never blocks, so the loop is busy, not
+	// stuck; ctxloop leaves it to the profiler.
+	for {
+		select {
+		case j := <-jobs:
+			return j
+		default:
+			return 0
+		}
+	}
+}
+
+func bounded(jobs chan int) int {
+	total := 0
+	for i := 0; i < 8; i++ { // bounded: has init and post
+		total += <-jobs
+	}
+	return total
+}
+
+func compute(xs []int) int {
+	total := 0
+	for len(xs) > 0 { // no blocking op inside
+		total += xs[0]
+		xs = xs[1:]
+	}
+	return total
+}
+
+func runDetached(a *core.Analysis) error {
+	_, err := core.Execute(a, core.ExecOptions{ // want `core.ExecOptions literal does not set Context`
+		Policy:   core.DynamicCompatible,
+		Capacity: 1,
+	})
+	return err
+}
+
+func runAttached(ctx context.Context, a *core.Analysis) error {
+	_, err := core.Execute(a, core.ExecOptions{
+		Context:  ctx,
+		Policy:   core.DynamicCompatible,
+		Capacity: 1,
+	})
+	return err
+}

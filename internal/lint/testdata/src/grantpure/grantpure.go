@@ -1,0 +1,78 @@
+// Package grantfix exercises the grantpure analyzer: a policy that
+// breaks every clause of the Grant purity contract, one that hides a
+// violation behind a helper, a clean policy in the style of
+// assign.naive, and a Grant of a different shape that is out of
+// scope.
+package grantfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+var grants int
+
+type bad struct {
+	hist []model.MessageID
+}
+
+func (b *bad) Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID {
+	grants++                 // want `writes package-level state grants`
+	_ = time.Now()           // want `calls time.Now`
+	_ = rand.Int()           // want `package-level rand.Int`
+	sort.Slice(pending, nil) // want `passes the pending slice to sort.Slice`
+	b.hist = pending         // want `retains the pending slice`
+	pending[0] = 0           // want `mutates the pending slice`
+	_ = append(pending, 0)   // want `appends to the pending slice`
+	return pending
+}
+
+var tick int
+
+func bump() {
+	tick++ // want `writes package-level state tick \(reached from Grant via bump\)`
+}
+
+type sneaky struct{}
+
+func (sneaky) Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID {
+	bump()
+	return nil
+}
+
+type good struct {
+	rng     *rand.Rand
+	scratch []model.MessageID
+	granted int
+}
+
+func (g *good) Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID {
+	// Copy-then-sort is the contractual idiom: the caller's slice is
+	// never reordered or retained.
+	order := append(g.scratch[:0], pending...)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	g.scratch = order[:0]
+	if free <= 0 || len(order) == 0 {
+		return nil
+	}
+	// A policy-owned seeded generator is fine; only package-level
+	// rand is nondeterministic across runs.
+	if g.rng.Intn(2) == 0 && len(order) > 1 {
+		order[0], order[1] = order[1], order[0]
+	}
+	g.granted++ // receiver state is the policy's own grant history
+	return order[:1]
+}
+
+type notPolicy struct{}
+
+// Grant here has a different signature, so the contract does not
+// apply even though the body is impure.
+func (notPolicy) Grant(a, b int) int {
+	grants++
+	return a + b
+}

@@ -1,0 +1,5 @@
+// Package hasdoc satisfies the pkgdoc analyzer: one file carries the
+// package comment, the other may omit it.
+package hasdoc
+
+func Documented() int { return 1 }

@@ -1,0 +1,3 @@
+package hasdoc
+
+func Other() int { return 2 }

@@ -1,0 +1,3 @@
+package nodoc // want `package nodoc has no package doc comment`
+
+func Unused() int { return 0 }

@@ -188,6 +188,8 @@ type exec struct {
 // that never deliver stay nil, as callers expect) and capped at the
 // declared word count: the whole run's received output costs one
 // allocation instead of one per message.
+//
+//sysvet:hotpath
 func (e *exec) deliver(id model.MessageID, w Word) {
 	if e.received[id] == nil {
 		off, end := e.m.wordOff[id], e.m.wordOff[id+1]
@@ -377,22 +379,30 @@ func (e *exec) release() {
 
 // owns reports whether shard s owns cell c. With one worker the
 // shard maps are not built and shard 0 owns everything.
+//
+//sysvet:hotpath
 func (e *exec) owns(s int, shard []int32, id model.MessageID) bool {
 	return e.workers == 1 || int(shard[id]) == s
 }
 
 // poolOf returns the pool serving hop i of message id under the
 // run's regime.
+//
+//sysvet:hotpath
 func (e *exec) poolOf(id model.MessageID, hop int) int {
 	return int(e.m.hops[e.m.hopOff[id]+int32(hop)].pool[e.flavor])
 }
 
 // pool returns the queue instances of pool p.
+//
+//sysvet:hotpath
 func (e *exec) pool(p int) []queueInst {
 	return e.queues[p*e.queuesPerLink : (p+1)*e.queuesPerLink]
 }
 
 // hopOn returns the route hop of msg served by pool, or -1.
+//
+//sysvet:hotpath
 func (e *exec) hopOn(pool int, msg model.MessageID) int {
 	hops := e.m.msgHops(msg)
 	for i := range hops {
@@ -405,6 +415,8 @@ func (e *exec) hopOn(pool int, msg model.MessageID) int {
 
 // armPool re-arms a pool immediately. Coordinator-only (grantPhase);
 // sharded phases defer arming through their sink instead.
+//
+//sysvet:hotpath
 func (e *exec) armPool(p int) {
 	if !e.poolArmed[p] {
 		e.poolArmed[p] = true
@@ -413,7 +425,10 @@ func (e *exec) armPool(p int) {
 }
 
 // insertMsg inserts id into an ascending message list.
+//
+//sysvet:hotpath
 func insertMsg(list []model.MessageID, id model.MessageID) []model.MessageID {
+	//sysvet:ignore hotalloc -- sort.Search's predicate does not escape, so the closure stays on the stack
 	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
 	list = append(list, 0)
 	copy(list[i+1:], list[i:])
@@ -424,6 +439,8 @@ func insertMsg(list []model.MessageID, id model.MessageID) []model.MessageID {
 // noteTransport records that id now has buffered words. The flag is
 // owned by the calling shard (id's sender); the list insertion is
 // deferred to the merge.
+//
+//sysvet:hotpath
 func (e *exec) noteTransport(id model.MessageID, sk *sink) {
 	if !e.inTransport[id] {
 		e.inTransport[id] = true
@@ -435,6 +452,8 @@ func (e *exec) noteTransport(id model.MessageID, sk *sink) {
 // first-hop queue bound. Called from the grant hook and the
 // pc-advance hook, which together cover both orders the two
 // conditions can become true in.
+//
+//sysvet:hotpath
 func (e *exec) noteWriter(id model.MessageID, sk *sink) {
 	if !e.writeReady[id] {
 		e.writeReady[id] = true
@@ -446,6 +465,8 @@ func (e *exec) noteWriter(id model.MessageID, sk *sink) {
 // which must insert immediately: the writer snapshot taken at the top
 // of the same cycle's transfer phase has to see grants made this
 // cycle, exactly as the reference engine's in-line insertion does.
+//
+//sysvet:hotpath
 func (e *exec) noteWriterNow(id model.MessageID) {
 	if !e.writeReady[id] {
 		e.writeReady[id] = true
@@ -457,6 +478,8 @@ func (e *exec) noteWriterNow(id model.MessageID) {
 // may now be requestable. On machines where every route is a single
 // hop there are no interior hops to request, so the set stays empty
 // and the interior phases are skipped outright.
+//
+//sysvet:hotpath
 func (e *exec) noteReqCheck(id model.MessageID, sk *sink) {
 	if !e.hasInterior {
 		return
@@ -469,6 +492,8 @@ func (e *exec) noteReqCheck(id model.MessageID, sk *sink) {
 
 // noteMoved records a departure event: one of id's queues may now be
 // releasable.
+//
+//sysvet:hotpath
 func (e *exec) noteMoved(id model.MessageID, sk *sink) {
 	if !e.movedFlag[id] {
 		e.movedFlag[id] = true
@@ -478,6 +503,8 @@ func (e *exec) noteMoved(id model.MessageID, sk *sink) {
 
 // noteCooling registers a queue whose Pop may have armed an
 // extension-access cooldown.
+//
+//sysvet:hotpath
 func (e *exec) noteCooling(qi *queueInst, sk *sink) {
 	if !qi.cooling && qi.q.Cooling() {
 		qi.cooling = true
@@ -487,6 +514,8 @@ func (e *exec) noteCooling(qi *queueInst, sk *sink) {
 
 // markCellDirty flags a cell whose pc advanced. The flag is owned by
 // the calling shard (c is one of its cells).
+//
+//sysvet:hotpath
 func (e *exec) markCellDirty(c int, sk *sink) {
 	if !e.cellDirty[c] {
 		e.cellDirty[c] = true
@@ -499,6 +528,8 @@ func (e *exec) markCellDirty(c int, sk *sink) {
 // message joins the writer set directly; otherwise the dirty-cell
 // pass handles any first-hop queue request. Only c's owning shard may
 // call this.
+//
+//sysvet:hotpath
 func (e *exec) advancePC(c int, sk *sink) {
 	e.pc[c]++
 	e.issued[c] = true
@@ -560,6 +591,8 @@ func (e *exec) run(maxCycles int) {
 
 // tickCooling advances extension-penalty cooldowns, compacting
 // entries whose cooldown has expired.
+//
+//sysvet:hotpath
 func (e *exec) tickCooling() {
 	w := 0
 	for _, slot := range e.cooling {
@@ -577,6 +610,8 @@ func (e *exec) tickCooling() {
 
 // anyCooling reports whether some queue is waiting out an
 // extension-access penalty; such cycles are latency, not deadlock.
+//
+//sysvet:hotpath
 func (e *exec) anyCooling() bool {
 	for _, slot := range e.cooling {
 		if e.queues[slot].q.Cooling() {
@@ -594,6 +629,8 @@ func (e *exec) anyCooling() bool {
 // order the reference full scan produces. Both sub-phases chunk their
 // sorted list by position; the shard-order merge restores the full
 // sorted append order for any worker count.
+//
+//sysvet:hotpath
 func (e *exec) collectRequests() {
 	slices.Sort(e.dirtyCells)
 	e.fanout(len(e.dirtyCells), e.fnFirstHop)
@@ -612,6 +649,8 @@ func (e *exec) collectRequests() {
 // senders parked at an unrequested W. Every touched flag (cellDirty,
 // requested[0]) belongs to the chunk's own cells and messages — a
 // message's first-hop request can only come from its one sender.
+//
+//sysvet:hotpath
 func (e *exec) collectFirstHopShard(s int) {
 	sk := &e.sinks[s]
 	lo, hi := chunk(len(e.dirtyCells), e.workers, s)
@@ -640,6 +679,8 @@ func (e *exec) collectFirstHopShard(s int) {
 // non-empty queue; requested flags make re-checks of older non-empty
 // queues no-ops, so this subset in ascending order appends to the
 // pending lists exactly as the full message scan did.
+//
+//sysvet:hotpath
 func (e *exec) collectInteriorShard(s int) {
 	sk := &e.sinks[s]
 	lo, hi := chunk(len(e.reqCheck), e.workers, s)
@@ -666,6 +707,8 @@ func (e *exec) collectInteriorShard(s int) {
 // would have made that could matter is made here too. The phase runs
 // entirely on the coordinator: policy instances are stateful and
 // their call order is part of the observable behavior.
+//
+//sysvet:hotpath
 func (e *exec) grantPhase() {
 	cur := e.armed
 	e.armed = e.armedSpare[:0]
@@ -728,6 +771,7 @@ func (e *exec) grantPhase() {
 	e.armedSpare = cur[:0]
 }
 
+//sysvet:hotpath
 func (e *exec) removePending(pool int, msg model.MessageID) {
 	lst := e.pending[pool]
 	for i, m := range lst {
@@ -751,6 +795,8 @@ func (e *exec) removePending(pool int, msg model.MessageID) {
 // message-local, chunk by position. One merge at the end covers all
 // four sub-phases: nothing they defer is consumed before the release
 // phase.
+//
+//sysvet:hotpath
 func (e *exec) cellAndTransferPhase() {
 	for _, c := range e.issuedList {
 		e.issued[c] = false
@@ -810,6 +856,8 @@ func (e *exec) cellAndTransferPhase() {
 // owns (messages whose receiver cell is in s's range). Only messages
 // with buffered words can serve a read; stale transport entries
 // (fully drained) are marked for compaction here.
+//
+//sysvet:hotpath
 func (e *exec) readShard(s int) {
 	sk := &e.sinks[s]
 	for i, id := range e.transport {
@@ -859,6 +907,8 @@ func (e *exec) readShard(s int) {
 // advanceShard moves words between interior queues for shard s's
 // position chunk of the transport set. Every touched queue is bound
 // to the chunk's own message, so chunks never contend.
+//
+//sysvet:hotpath
 func (e *exec) advanceShard(s int) {
 	sk := &e.sinks[s]
 	lo, hi := chunk(len(e.transport), e.workers, s)
@@ -885,6 +935,8 @@ func (e *exec) advanceShard(s int) {
 // writeShard pushes sender words into first-hop queues for the
 // writer-snapshot entries shard s owns (messages whose sender cell is
 // in s's range).
+//
+//sysvet:hotpath
 func (e *exec) writeShard(s int) {
 	sk := &e.sinks[s]
 	for _, id := range e.writerScratch {
@@ -930,6 +982,8 @@ func (e *exec) writeShard(s int) {
 // rendezvous matches W(m) senders with R(m) receivers over bound
 // capacity-0 latches: the word passes through without ever being
 // buffered, the paper's "queues are just latches" regime.
+//
+//sysvet:hotpath
 func (e *exec) rendezvous(sk *sink) {
 	// A rendezvous needs the sender parked at W(id) over a bound
 	// latch — precisely the writer set (capacity 0 admits only
@@ -977,6 +1031,8 @@ func (e *exec) rendezvous(sk *sink) {
 // moved set is sorted, chunked by position, and merged in shard
 // order, so release-side timeline events keep their ascending-message
 // order for any worker count.
+//
+//sysvet:hotpath
 func (e *exec) releasePhase() {
 	slices.Sort(e.movedMsgs)
 	e.fanout(len(e.movedMsgs), e.fnRelease)
@@ -989,6 +1045,8 @@ func (e *exec) releasePhase() {
 // message's last word departs it (the queue is empty at that same
 // instant), so the messages with departure events this cycle are the
 // only release candidates.
+//
+//sysvet:hotpath
 func (e *exec) releaseShard(s int) {
 	sk := &e.sinks[s]
 	lo, hi := chunk(len(e.movedMsgs), e.workers, s)

@@ -66,6 +66,8 @@ const parallelGrain = 48
 // shardOf maps cell c of n to one of w contiguous, balanced shards:
 // shard s owns cells [s·n/w, (s+1)·n/w). Requires 0 ≤ c < n and
 // 1 ≤ w ≤ n.
+//
+//sysvet:hotpath
 func shardOf(c, n, w int) int {
 	return (c*w + w - 1) / n
 }
@@ -73,6 +75,8 @@ func shardOf(c, n, w int) int {
 // chunk returns shard s's position range [lo, hi) of an n-entry work
 // list split into w contiguous chunks. Concatenating the chunks in
 // shard order yields [0, n) exactly.
+//
+//sysvet:hotpath
 func chunk(n, w, s int) (lo, hi int) {
 	return s * n / w, (s + 1) * n / w
 }
@@ -108,6 +112,8 @@ type sink struct {
 }
 
 // reset empties a sink, keeping its backing arrays.
+//
+//sysvet:hotpath
 func (sk *sink) reset() {
 	sk.pending = sk.pending[:0]
 	sk.armed = sk.armed[:0]
@@ -197,6 +203,8 @@ func (g *gang) stop() {
 // produce identical state — fn(s) touches only shard-s-owned state
 // plus sinks[s], and merge order is fixed — so the dispatch choice is
 // invisible in the Result.
+//
+//sysvet:hotpath
 func (e *exec) fanout(n int, fn func(int)) {
 	if n == 0 {
 		return
@@ -219,6 +227,8 @@ func (e *exec) fanout(n int, fn func(int)) {
 // message sets are either kept sorted by insertion (transport,
 // writers) or sorted at their consumption site (reqCheck, moved,
 // dirty, armed), so their merge order cannot be observed.
+//
+//sysvet:hotpath
 func (e *exec) mergeSinks() {
 	for s := range e.sinks {
 		sk := &e.sinks[s]

@@ -262,7 +262,7 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 		}
 		defer opts.Limiter.Release()
 		a, aerr := cache.get(cfg.Case, cfg.Lookahead)
-		outcomes[i] = runOne(cases[cfg.Case], cfg, a, aerr, opts)
+		outcomes[i] = runOne(ctx, cases[cfg.Case], cfg, a, aerr, opts)
 	}); err != nil {
 		return nil, err
 	}
@@ -350,7 +350,9 @@ func analyze(c Case, lookahead int) (*core.Analysis, error) {
 }
 
 // runOne executes one grid point.
-func runOne(c Case, cfg Config, a *core.Analysis, aerr error, opts Options) Outcome {
+//
+//sysvet:hotpath
+func runOne(ctx context.Context, c Case, cfg Config, a *core.Analysis, aerr error, opts Options) Outcome {
 	// QueuesUsed starts as the requested budget so rejected/error rows
 	// still report which configuration they were; simulated rows below
 	// resolve 0 to the analysis minimum.
@@ -378,6 +380,11 @@ func runOne(c Case, cfg Config, a *core.Analysis, aerr error, opts Options) Outc
 		Seed:          cfg.Seed,
 		MaxCycles:     opts.MaxCycles,
 		Workers:       workers,
+		// Context threads the sweep's cancellation into the run itself:
+		// without it a cancelled caller (a dropped /v1/sweep client)
+		// only stops unstarted grid points while every in-flight
+		// simulation runs to completion, pinning its limiter slot.
+		Context: ctx,
 		// Force: under-provisioned grid points are the interesting
 		// ones — let them run and deadlock rather than be refused.
 		Force: true,
@@ -447,8 +454,10 @@ func (r *Report) SafeBudgets(policy core.PolicyKind) map[string]int {
 		}
 	}
 	out := make(map[string]int)
+	//sysvet:unordered -- each case writes only its own out[name] key
 	for name, byBudget := range completedAt {
 		best := -1
+		//sysvet:unordered -- computes a minimum over budgets, which is order-independent
 		for q, done := range byBudget {
 			if failed[name][q] || len(done) < len(combos[name]) {
 				continue

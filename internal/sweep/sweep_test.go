@@ -222,3 +222,29 @@ func TestAnalysisMemoizedAcrossGrid(t *testing.T) {
 		t.Fatalf("route computations grew with the grid: %d (1-point axes) vs %d (36-point axes); analysis not memoized", small, large)
 	}
 }
+
+// TestRunOneObservesContext is the regression test for the sysvet
+// ctxloop finding that grid points ran detached from the sweep's
+// context: runOne built core.ExecOptions without Context, so a
+// cancelled caller (a dropped /v1/sweep client) only stopped
+// unstarted grid points while every in-flight simulation ran to
+// completion. The context must now reach the machine itself.
+func TestRunOneObservesContext(t *testing.T) {
+	cases := testCases()
+	a, aerr := analyze(cases[0], 0)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	cfg := Config{Case: 0, Policy: core.DynamicCompatible, Capacity: 1, Seed: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := runOne(ctx, cases[0], cfg, a, aerr, Options{})
+	if o.Result != "error" || !strings.Contains(o.Err, "cancelled") {
+		t.Fatalf("runOne under a cancelled ctx returned %q (err %q); want the cancellation to reach the machine", o.Result, o.Err)
+	}
+
+	if got := runOne(context.Background(), cases[0], cfg, a, aerr, Options{}); got.Result != "completed" {
+		t.Fatalf("runOne under a live ctx returned %q (err %q), want completed", got.Result, got.Err)
+	}
+}

@@ -8,6 +8,7 @@ package verify
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"systolic/internal/crossoff"
 	"systolic/internal/label"
@@ -42,10 +43,20 @@ func CheckPreconditions(p *model.Program, t topology.Topology, dense []int, queu
 
 // CheckPreconditionsRoutes is CheckPreconditions over precomputed
 // routes, for pipelines (core.Analyze) that have already routed the
-// program and should not pay for routing twice.
+// program and should not pay for routing twice. Links and labels are
+// visited in sorted order so Violations is deterministic: the report
+// flows into core.Analysis and from there into wire responses, which
+// must be byte-identical run to run.
 func CheckPreconditionsRoutes(routes [][]topology.Hop, dense []int, queuesPerLink int) PreconditionReport {
 	var rep PreconditionReport
-	for link, msgs := range topology.Competing(routes) {
+	competing := topology.Competing(routes)
+	links := make([]topology.LinkID, 0, len(competing))
+	for link := range competing {
+		links = append(links, link)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, link := range links {
+		msgs := competing[link]
 		if len(msgs) > rep.MaxCompeting {
 			rep.MaxCompeting = len(msgs)
 		}
@@ -53,7 +64,13 @@ func CheckPreconditionsRoutes(routes [][]topology.Hop, dense []int, queuesPerLin
 		for _, m := range msgs {
 			groups[dense[m]]++
 		}
-		for lab, n := range groups {
+		labs := make([]int, 0, len(groups))
+		for lab := range groups {
+			labs = append(labs, lab)
+		}
+		sort.Ints(labs)
+		for _, lab := range labs {
+			n := groups[lab]
 			if n > rep.MaxGroup {
 				rep.MaxGroup = n
 			}

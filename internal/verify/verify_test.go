@@ -2,6 +2,7 @@ package verify
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"systolic/internal/crossoff"
@@ -240,5 +241,43 @@ func TestLabelAndCheck(t *testing.T) {
 	}
 	if got.Report.MaxGroup < 1 || got.Report.MaxCompeting < got.Report.MaxGroup {
 		t.Fatalf("report %+v", got.Report)
+	}
+}
+
+// TestViolationsDeterministicOrder is the regression test for the
+// sysvet detorder finding in CheckPreconditionsRoutes: Violations was
+// built by ranging over the competing-messages map and the label
+// groups map, so its order differed run to run even though the report
+// escapes into core.Analysis and wire responses. Links and labels
+// must now come out in ascending order on every call.
+func TestViolationsDeterministicOrder(t *testing.T) {
+	hop := func(l topology.LinkID) []topology.Hop {
+		return []topology.Hop{{Link: l, From: 0, To: 1}}
+	}
+	// Links 0, 1, and 2 each carry two label groups of two messages;
+	// with one queue per link that is six violations across three
+	// links — plenty of map keys for a nondeterministic order to show.
+	routes := [][]topology.Hop{
+		hop(0), hop(0), hop(0), hop(0),
+		hop(1), hop(1), hop(1), hop(1),
+		hop(2), hop(2), hop(2), hop(2),
+	}
+	dense := []int{0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5}
+	want := []string{
+		"link 0: 2 competing messages share label 0 but only 1 queues",
+		"link 0: 2 competing messages share label 1 but only 1 queues",
+		"link 1: 2 competing messages share label 2 but only 1 queues",
+		"link 1: 2 competing messages share label 3 but only 1 queues",
+		"link 2: 2 competing messages share label 4 but only 1 queues",
+		"link 2: 2 competing messages share label 5 but only 1 queues",
+	}
+	for i := 0; i < 100; i++ {
+		rep := CheckPreconditionsRoutes(routes, dense, 1)
+		if !reflect.DeepEqual(rep.Violations, want) {
+			t.Fatalf("iteration %d: violations out of order:\ngot  %v\nwant %v", i, rep.Violations, want)
+		}
+		if rep.MaxGroup != 2 || rep.MaxCompeting != 4 {
+			t.Fatalf("MaxGroup=%d MaxCompeting=%d, want 2 and 4", rep.MaxGroup, rep.MaxCompeting)
+		}
 	}
 }

@@ -7,12 +7,24 @@
 // lines are ignored. The output is deterministic for a given input.
 //
 //	go test -run '^$' -bench BenchmarkRunParallel -benchmem . | go run ./tools/benchjson
+//
+// With -baseline FILE the current results are also compared against a
+// committed baseline document: every baseline benchmark must still
+// exist, and its machine-independent metrics (allocs/op, B/op) must
+// not exceed the baseline by more than -tolerance (a fraction;
+// default 0.10). Timing metrics are recorded but never compared —
+// they measure the CI runner, not the code. On regression the diff
+// goes to stderr and the exit status is 1.
+//
+//	go test -bench BenchmarkRunParallel -benchmem . | go run ./tools/benchjson -baseline BENCH_parallel.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,10 +37,21 @@ type entry struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// document is the emitted JSON shape.
+// document is the emitted JSON shape. Version guards the schema so a
+// committed baseline from a future incompatible format fails loudly
+// instead of comparing garbage.
 type document struct {
+	Version    int     `json:"version"`
 	Benchmarks []entry `json:"benchmarks"`
 }
+
+// docVersion is the current schema version.
+const docVersion = 1
+
+// comparedMetrics are the machine-independent metrics a baseline
+// comparison checks. ns/op and custom timing metrics vary with the
+// host and are excluded by design.
+var comparedMetrics = [...]string{"allocs/op", "B/op"}
 
 // parseLine parses one "BenchmarkX-8  N  V unit  V unit ..." line;
 // ok is false for anything that is not a benchmark result.
@@ -52,16 +75,93 @@ func parseLine(line string) (entry, bool) {
 	return e, true
 }
 
-func main() {
-	doc := document{Benchmarks: []entry{}}
-	sc := bufio.NewScanner(os.Stdin)
+// parse reads benchmark output into a document.
+func parse(r io.Reader) (document, error) {
+	doc := document{Version: docVersion, Benchmarks: []entry{}}
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		if e, ok := parseLine(sc.Text()); ok {
 			doc.Benchmarks = append(doc.Benchmarks, e)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return doc, sc.Err()
+}
+
+// normName strips the trailing -<GOMAXPROCS> suffix Go appends to
+// benchmark names, so a baseline recorded on a 1-proc machine matches
+// the same benchmark on a 4-proc CI runner.
+func normName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// compare checks cur against base and returns one human-readable
+// violation per regression: a baseline benchmark that disappeared, or
+// a compared metric exceeding baseline*(1+tol). Benchmarks only in
+// cur are fine — coverage may grow freely. Names are matched with the
+// GOMAXPROCS suffix stripped.
+func compare(cur, base document, tol float64) []string {
+	curBy := make(map[string]entry, len(cur.Benchmarks))
+	for _, e := range cur.Benchmarks {
+		curBy[normName(e.Name)] = e
+	}
+	var bad []string
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[normName(b.Name)]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: in baseline but not in current run", b.Name))
+			continue
+		}
+		for _, m := range comparedMetrics {
+			bv, inBase := b.Metrics[m]
+			cv, inCur := c.Metrics[m]
+			if !inBase {
+				continue
+			}
+			if !inCur {
+				bad = append(bad, fmt.Sprintf("%s: metric %s in baseline but not reported (run with -benchmem?)", b.Name, m))
+				continue
+			}
+			if cv > bv*(1+tol) {
+				bad = append(bad, fmt.Sprintf("%s: %s regressed: %.0f > baseline %.0f (+%.0f%% allowed)", b.Name, m, cv, bv, tol*100))
+			}
+		}
+	}
+	return bad
+}
+
+// loadBaseline reads and validates a committed baseline document.
+func loadBaseline(path string) (document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return document{}, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return document{}, fmt.Errorf("%s: %v", path, err)
+	}
+	if doc.Version != docVersion {
+		return document{}, fmt.Errorf("%s: baseline schema version %d, this tool writes %d", path, doc.Version, docVersion)
+	}
+	return doc, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline JSON to compare allocation metrics against")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional increase over baseline metrics")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -71,4 +171,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline == "" {
+		return
+	}
+	base, err := loadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if bad := compare(doc, base, *tolerance); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "benchjson:", b)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) against %s\n", len(bad), *baseline)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: OK against %s\n", *baseline)
 }

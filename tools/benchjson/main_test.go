@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	e, ok := parseLine("BenchmarkRunParallel/wide-linear-1024/workers=4-8  3  81334315 ns/op  26511 ns/sim-cycle  900 allocs/op")
@@ -25,5 +28,111 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(junk); ok {
 			t.Errorf("non-benchmark line %q parsed", junk)
 		}
+	}
+}
+
+func doc(entries ...entry) document {
+	return document{Version: docVersion, Benchmarks: entries}
+}
+
+func bench(name string, metrics map[string]float64) entry {
+	return entry{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestCompare(t *testing.T) {
+	base := doc(
+		bench("BenchmarkA-8", map[string]float64{"ns/op": 100, "allocs/op": 10, "B/op": 1000}),
+		bench("BenchmarkB-8", map[string]float64{"ns/op": 200, "allocs/op": 20}),
+	)
+
+	t.Run("identical is clean", func(t *testing.T) {
+		if bad := compare(base, base, 0.10); len(bad) != 0 {
+			t.Errorf("violations on identical docs: %v", bad)
+		}
+	})
+
+	t.Run("within tolerance is clean", func(t *testing.T) {
+		cur := doc(
+			bench("BenchmarkA-8", map[string]float64{"ns/op": 100, "allocs/op": 11, "B/op": 1100}),
+			bench("BenchmarkB-8", map[string]float64{"ns/op": 200, "allocs/op": 22}),
+		)
+		if bad := compare(cur, base, 0.10); len(bad) != 0 {
+			t.Errorf("violations within tolerance: %v", bad)
+		}
+	})
+
+	t.Run("alloc regression is flagged", func(t *testing.T) {
+		cur := doc(
+			bench("BenchmarkA-8", map[string]float64{"ns/op": 100, "allocs/op": 12, "B/op": 1000}),
+			bench("BenchmarkB-8", map[string]float64{"ns/op": 200, "allocs/op": 20}),
+		)
+		bad := compare(cur, base, 0.10)
+		if len(bad) != 1 || !strings.Contains(bad[0], "allocs/op regressed") {
+			t.Errorf("want one allocs/op regression, got %v", bad)
+		}
+	})
+
+	t.Run("timing noise is not compared", func(t *testing.T) {
+		cur := doc(
+			bench("BenchmarkA-8", map[string]float64{"ns/op": 100000, "allocs/op": 10, "B/op": 1000}),
+			bench("BenchmarkB-8", map[string]float64{"ns/op": 900000, "allocs/op": 20}),
+		)
+		if bad := compare(cur, base, 0.10); len(bad) != 0 {
+			t.Errorf("timing-only change flagged: %v", bad)
+		}
+	})
+
+	t.Run("missing benchmark is flagged", func(t *testing.T) {
+		cur := doc(bench("BenchmarkA-8", map[string]float64{"allocs/op": 10, "B/op": 1000}))
+		bad := compare(cur, base, 0.10)
+		if len(bad) != 1 || !strings.Contains(bad[0], "not in current run") {
+			t.Errorf("want one missing-benchmark violation, got %v", bad)
+		}
+	})
+
+	t.Run("missing metric is flagged", func(t *testing.T) {
+		cur := doc(
+			bench("BenchmarkA-8", map[string]float64{"ns/op": 100}),
+			bench("BenchmarkB-8", map[string]float64{"ns/op": 200, "allocs/op": 20}),
+		)
+		bad := compare(cur, base, 0.10)
+		if len(bad) != 2 {
+			t.Errorf("want two missing-metric violations, got %v", bad)
+		}
+	})
+
+	t.Run("gomaxprocs suffix is normalized", func(t *testing.T) {
+		cur := doc(
+			bench("BenchmarkA-4", map[string]float64{"allocs/op": 10, "B/op": 1000}),
+			bench("BenchmarkB-4", map[string]float64{"allocs/op": 20}),
+		)
+		if bad := compare(cur, base, 0.10); len(bad) != 0 {
+			t.Errorf("suffix mismatch flagged: %v", bad)
+		}
+	})
+
+	t.Run("extra benchmarks are fine", func(t *testing.T) {
+		cur := doc(
+			bench("BenchmarkA-8", map[string]float64{"allocs/op": 10, "B/op": 1000}),
+			bench("BenchmarkB-8", map[string]float64{"allocs/op": 20}),
+			bench("BenchmarkNew-8", map[string]float64{"allocs/op": 99999}),
+		)
+		if bad := compare(cur, base, 0.10); len(bad) != 0 {
+			t.Errorf("new benchmark flagged: %v", bad)
+		}
+	})
+}
+
+func TestParseDocument(t *testing.T) {
+	in := `goos: linux
+BenchmarkRunParallel/w1-8   3   100 ns/op   10 allocs/op
+PASS
+`
+	d, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != docVersion || len(d.Benchmarks) != 1 {
+		t.Fatalf("parsed %+v", d)
 	}
 }

@@ -1,0 +1,26 @@
+// Command sysvet runs the repository's static-analysis suite — the
+// five analyzers in internal/lint that machine-check the contracts
+// ARCHITECTURE.md states in prose: deterministic map iteration
+// (detorder), Grant purity (grantpure), hot-path allocation budgets
+// (hotalloc), context cancellation in blocking paths (ctxloop), and
+// the package-doc floor (pkgdoc).
+//
+// Usage:
+//
+//	go run ./tools/sysvet ./...
+//
+// The exit code is 0 when the tree is clean, 1 on findings, and 2 on
+// a load or type-check failure. See internal/lint for the
+// //sysvet:ignore, //sysvet:unordered, and //sysvet:hotpath
+// directives.
+package main
+
+import (
+	"os"
+
+	"systolic/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:]))
+}
