@@ -30,8 +30,12 @@
 // -n 1 -seed S.
 //
 // serve also takes no FILE: it starts the HTTP/JSON daemon
-// (-addr HOST:PORT -cache-size N -max-concurrency N) documented in
-// docs/API.md and shuts down gracefully on SIGINT/SIGTERM.
+// (-addr HOST:PORT -cache-size N -max-concurrency N -queue-wait N
+// -tenants FILE) documented in docs/API.md and shuts down gracefully
+// on SIGINT/SIGTERM. -queue-wait bounds how many requests may wait
+// for a run slot before the daemon sheds with 429 + Retry-After;
+// -tenants names a JSON file of per-tenant API keys and quotas
+// (omitted = anonymous mode).
 //
 // Every verb accepts -cpuprofile FILE and -memprofile FILE, which
 // write pprof profiles covering the whole command for `go tool

@@ -15,6 +15,8 @@ func Serve(ctx context.Context, w io.Writer, opts SysdlOptions) (int, error) {
 		Addr:           opts.Addr,
 		CacheSize:      opts.CacheSize,
 		MaxConcurrency: opts.MaxConcurrency,
+		QueueWait:      opts.QueueWait,
+		TenantsFile:    opts.TenantsFile,
 		Log:            w,
 	})
 	if err != nil {

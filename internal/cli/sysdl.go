@@ -50,10 +50,15 @@ type SysdlOptions struct {
 	RunWorkers     int
 
 	// serve-verb flags: listen address, compiled-scenario cache bound,
-	// and the process-wide concurrent-simulation budget.
+	// the process-wide concurrent-simulation budget, the bounded
+	// admission wait pool (0 = 2×max-concurrency, -1 = shed
+	// immediately), and an optional tenants file enabling per-tenant
+	// API keys and quotas.
 	Addr           string
 	CacheSize      int
 	MaxConcurrency int
+	QueueWait      int
+	TenantsFile    string
 
 	// Profiling flags, usable with every verb: write a pprof CPU or
 	// heap profile covering the whole command (see StartProfiles).
@@ -95,6 +100,8 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.StringVar(&o.Addr, "addr", o.Addr, "serve: listen address")
 	fs.IntVar(&o.CacheSize, "cache-size", o.CacheSize, "serve: compiled-scenario cache bound (entries)")
 	fs.IntVar(&o.MaxConcurrency, "max-concurrency", o.MaxConcurrency, "serve: concurrent simulations (0 = GOMAXPROCS)")
+	fs.IntVar(&o.QueueWait, "queue-wait", o.QueueWait, "serve: requests allowed to wait for a run slot before shedding with 429 (0 = 2x max-concurrency, -1 = none)")
+	fs.StringVar(&o.TenantsFile, "tenants", o.TenantsFile, "serve: tenants JSON file enabling per-tenant API keys and quotas (empty = anonymous)")
 	fs.StringVar(&o.CPUProfile, "cpuprofile", o.CPUProfile, "write a pprof CPU profile to this file")
 	fs.StringVar(&o.MemProfile, "memprofile", o.MemProfile, "write a pprof heap profile to this file on exit")
 }

@@ -94,7 +94,10 @@ func TestAPIDocExamplesMatchWireTypes(t *testing.T) {
 		"v1/run-deadlock-response": func() any { return new(RunResponse) },
 		"v1/sweep-request":         func() any { return new(SweepRequest) },
 		"v1/sweep-response":        func() any { return new(SweepResponse) },
+		"v1/sweep-stream-row":      func() any { return new(SweepOutcome) },
+		"v1/sweep-stream-summary":  func() any { return new(SweepStreamSummary) },
 		"v1/stats-response":        func() any { return new(StatsResponse) },
+		"v1/tenants-file":          func() any { return new(tenantsFile) },
 		"v1/error":                 func() any { return new(ErrorResponse) },
 	}
 	for tag, mk := range targets {
@@ -114,6 +117,28 @@ func TestAPIDocExamplesMatchWireTypes(t *testing.T) {
 	for tag := range blocks {
 		if _, known := targets[tag]; !known {
 			t.Errorf("docs/API.md example tag %q has no conformance mapping; add it to this test", tag)
+		}
+	}
+}
+
+// TestAPIDocTenantsExampleLoads feeds the documented tenants-file
+// example through the real loader: a copy-pasted quickstart config
+// must not be rejected.
+func TestAPIDocTenantsExampleLoads(t *testing.T) {
+	doc := readAPIDoc(t)
+	blocks := docJSONBlocks(t, doc)
+	bodies := blocks["v1/tenants-file"]
+	if len(bodies) == 0 {
+		t.Fatal("docs/API.md has no ```json v1/tenants-file example")
+	}
+	for _, body := range bodies {
+		tn, err := ParseTenants([]byte(body))
+		if err != nil {
+			t.Errorf("documented tenants file rejected by ParseTenants: %v\n%s", err, body)
+			continue
+		}
+		if tn.count() == 0 {
+			t.Error("documented tenants file defines no tenants")
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"systolic/internal/core"
+	"systolic/internal/model"
 )
 
 // cacheKey is a raw sha256 digest. Keys stay as fixed-size arrays so
@@ -71,18 +72,63 @@ func newScenarioCache(max int) *scenarioCache {
 	}
 }
 
+// analysisKey is the analysis-options half of a cache key: everything
+// besides the program that the compiled artifact depends on. The run
+// path maps its AnalyzeSpec here (budget 0, R2-derived); the sweep
+// path maps a lookahead axis value to a uniform budget override —
+// exactly the options the sweep engine's in-engine analyze step would
+// use, so a sweep's lookahead-0 grid points share cache entries with
+// default /v1/run and /v1/analyze requests.
+type analysisKey struct {
+	lookahead bool
+	capacity  int
+	budget    int // uniform skip budget override; 0 = R2-derived
+}
+
+// runKey maps a request's AnalyzeSpec onto the cache key space.
+func runKey(spec AnalyzeSpec) analysisKey {
+	return analysisKey{lookahead: spec.Lookahead, capacity: spec.Capacity}
+}
+
+// sweepKey maps one sweep lookahead axis value onto the cache key
+// space, mirroring the sweep engine's own analyze step: 0 is the
+// strict procedure, n > 0 a uniform budget of n.
+func sweepKey(lookahead int) analysisKey {
+	if lookahead > 0 {
+		return analysisKey{lookahead: true, budget: lookahead}
+	}
+	return analysisKey{}
+}
+
+// options lowers the key to the core analyzer's options.
+func (k analysisKey) options() core.AnalyzeOptions {
+	opts := core.AnalyzeOptions{Lookahead: k.lookahead, Capacity: k.capacity}
+	if k.budget > 0 {
+		b := k.budget
+		opts.BudgetOverride = func(model.MessageID) int { return b }
+	}
+	return opts
+}
+
+// digestBytes encodes the key for hashing.
+func (k analysisKey) digestBytes() [17]byte {
+	var b [17]byte
+	if k.lookahead {
+		b[0] = 1
+	}
+	binary.LittleEndian.PutUint64(b[1:], uint64(int64(k.capacity)))
+	binary.LittleEndian.PutUint64(b[9:], uint64(int64(k.budget)))
+	return b
+}
+
 // srcDigest hashes a raw request (program text + analysis options)
 // without parsing it. This is the only work a steady-state cache hit
 // performs before the simulation itself.
-func srcDigest(program string, lookahead bool, capacity int) cacheKey {
+func srcDigest(program string, key analysisKey) cacheKey {
 	h := sha256.New()
-	io.WriteString(h, "sysdl-src-v1\x00")
+	io.WriteString(h, "sysdl-src-v2\x00")
 	io.WriteString(h, program)
-	var opts [9]byte
-	if lookahead {
-		opts[0] = 1
-	}
-	binary.LittleEndian.PutUint64(opts[1:], uint64(int64(capacity)))
+	opts := key.digestBytes()
 	h.Write(opts[:])
 	var k cacheKey
 	h.Sum(k[:0])
@@ -91,15 +137,11 @@ func srcDigest(program string, lookahead bool, capacity int) cacheKey {
 
 // canonDigest folds the canonical scenario hash with the analysis
 // options into a cache key.
-func canonDigest(scenarioKey string, lookahead bool, capacity int) cacheKey {
+func canonDigest(scenarioKey string, key analysisKey) cacheKey {
 	h := sha256.New()
-	io.WriteString(h, "sysdl-canon-v1\x00")
+	io.WriteString(h, "sysdl-canon-v2\x00")
 	io.WriteString(h, scenarioKey)
-	var opts [9]byte
-	if lookahead {
-		opts[0] = 1
-	}
-	binary.LittleEndian.PutUint64(opts[1:], uint64(int64(capacity)))
+	opts := key.digestBytes()
 	h.Write(opts[:])
 	var k cacheKey
 	h.Sum(k[:0])

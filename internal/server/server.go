@@ -32,6 +32,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -39,7 +40,9 @@ import (
 	"systolic/internal/core"
 	"systolic/internal/dsl"
 	"systolic/internal/machine"
+	"systolic/internal/model"
 	"systolic/internal/sweep"
+	"systolic/internal/topology"
 )
 
 // Options configures a Server.
@@ -55,8 +58,21 @@ type Options struct {
 	MaxConcurrency int
 	// MaxResults bounds retained result documents (default 256).
 	MaxResults int
+	// QueueWait bounds how many requests may wait for a free run slot
+	// before the server sheds load with 429 + Retry-After: 0 means the
+	// default pool of 2×MaxConcurrency, -1 disables waiting entirely
+	// (any request that misses a free slot is shed), n > 0 admits n
+	// waiters.
+	QueueWait int
+	// Tenants, when non-nil, enables per-tenant API keys and quotas on
+	// the compute endpoints (see tenant.go). Nil serves anonymously.
+	Tenants *Tenants
+	// TenantsFile is a path to a tenants JSON file, loaded by
+	// ListenAndServe when Tenants is nil. Empty means anonymous.
+	TenantsFile string
 	// Log, when non-nil, receives one line on listen and one on
-	// shutdown.
+	// shutdown, plus one per response-write failure (a half-written
+	// reply is diagnosable instead of silent).
 	Log io.Writer
 }
 
@@ -67,6 +83,8 @@ type Server struct {
 	cache   *scenarioCache
 	results *resultStore
 	limiter *sweep.Limiter
+	adm     *admission
+	tenants *Tenants
 	mux     *http.ServeMux
 
 	requests atomic.Int64
@@ -79,11 +97,16 @@ func New(opts Options) *Server {
 		cache:   newScenarioCache(opts.CacheSize),
 		results: newResultStore(opts.MaxResults),
 		limiter: sweep.NewLimiter(opts.MaxConcurrency),
+		tenants: opts.Tenants,
 		mux:     http.NewServeMux(),
 	}
-	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.adm = newAdmission(s.limiter, opts.QueueWait)
+	// The compute endpoints go through the tenant gate (a no-op
+	// closure-free pass-through in anonymous mode); the read endpoints
+	// stay open so operators can always inspect results and stats.
+	s.mux.HandleFunc("POST /v1/analyze", s.gate(s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/run", s.gate(s.handleRun))
+	s.mux.HandleFunc("POST /v1/sweep", s.gate(s.handleSweep))
 	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -122,14 +145,21 @@ func ListenAndServe(ctx context.Context, opts Options) error {
 	if addr == "" {
 		addr = "127.0.0.1:8080"
 	}
+	if opts.Tenants == nil && opts.TenantsFile != "" {
+		ts, err := LoadTenants(opts.TenantsFile)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		opts.Tenants = ts
+	}
 	s := New(opts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("server: listen: %w", err)
 	}
 	if opts.Log != nil {
-		fmt.Fprintf(opts.Log, "sysdl serve: listening on http://%s (cache %d scenarios, %d concurrent runs)\n",
-			ln.Addr(), s.cache.max, s.limiter.Cap())
+		fmt.Fprintf(opts.Log, "sysdl serve: listening on http://%s (cache %d scenarios, %d concurrent runs, %d waiters, %d tenants)\n",
+			ln.Addr(), s.cache.max, s.limiter.Cap(), s.adm.waitCap, s.tenants.count())
 	}
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -148,10 +178,13 @@ func ListenAndServe(ctx context.Context, opts Options) error {
 	}
 }
 
-// statusError carries an HTTP status with an error.
+// statusError carries an HTTP status with an error; retryAfter > 0
+// additionally sets a Retry-After header (seconds) on the reply, the
+// back-off contract of every 429.
 type statusError struct {
-	code int
-	err  error
+	code       int
+	retryAfter int
+	err        error
 }
 
 func (e *statusError) Error() string { return e.err.Error() }
@@ -164,8 +197,8 @@ func badRequest(err error) *statusError {
 // fast path first (one hash, one map probe, no parsing), then the
 // canonical path (parse, hash the parsed form, compile at most once
 // process-wide). cached reports whether a compile was skipped.
-func (s *Server) lookup(program string, spec AnalyzeSpec) (e *entry, cached bool, err error) {
-	src := srcDigest(program, spec.Lookahead, spec.Capacity)
+func (s *Server) lookup(program string, key analysisKey) (e *entry, cached bool, err error) {
+	src := srcDigest(program, key)
 	if e, ok := s.cache.lookupSrc(src); ok {
 		return e, true, nil
 	}
@@ -174,12 +207,9 @@ func (s *Server) lookup(program string, spec AnalyzeSpec) (e *entry, cached bool
 		return nil, false, badRequest(perr)
 	}
 	scenario := machine.ScenarioKey(f.Program, f.Topology, nil, nil)
-	canon := canonDigest(scenario, spec.Lookahead, spec.Capacity)
+	canon := canonDigest(scenario, key)
 	e, hit := s.cache.getOrCompile(canon, src, scenario, func() (*core.Analysis, error) {
-		a, err := core.Analyze(f.Program, f.Topology, core.AnalyzeOptions{
-			Lookahead: spec.Lookahead,
-			Capacity:  spec.Capacity,
-		})
+		a, err := core.Analyze(f.Program, f.Topology, key.options())
 		if err != nil {
 			return nil, err
 		}
@@ -193,27 +223,41 @@ func (s *Server) lookup(program string, spec AnalyzeSpec) (e *entry, cached bool
 	return e, hit, nil
 }
 
-// writeJSON writes a JSON response body with status code.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// logf writes one diagnostic line to Options.Log, if configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, "sysdl serve: "+format+"\n", args...)
+	}
+}
+
+// writeJSON writes a JSON response body with status code. Encode
+// failures happen after headers are committed, so they are logged
+// rather than mapped to a status.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.logf("response encode after headers committed: %v", err)
+	}
 }
 
 // writeError maps an error onto an ErrorResponse.
-func writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	code := http.StatusUnprocessableEntity
 	var se *statusError
 	if errors.As(err, &se) {
 		code = se.code
+		if se.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(se.retryAfter))
+		}
 	}
 	var oe *core.OptionError
 	var ce *machine.ConfigError
 	if errors.As(err, &oe) || errors.As(err, &ce) {
 		code = http.StatusBadRequest
 	}
-	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+	s.writeJSON(w, code, ErrorResponse{Error: err.Error()})
 }
 
 // maxBodyBytes bounds request bodies: generous for DSL text, small
@@ -237,17 +281,17 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if err := decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	e, cached, err := s.lookup(req.Program, req.Analyze)
+	e, cached, err := s.lookup(req.Program, runKey(req.Analyze))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	a, err := e.wait()
 	if err != nil {
-		writeError(w, badRequest(err))
+		s.writeError(w, badRequest(err))
 		return
 	}
 	resp := &AnalyzeResponse{
@@ -271,6 +315,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.store(w, resp.ID, resp)
 }
 
+// slotGuard releases one limiter slot exactly once. It lives on the
+// handler's stack (a deferred method on a local, not a closure) so the
+// cache-hit run path stays within its allocation gate.
+type slotGuard struct {
+	l        *sweep.Limiter
+	released bool
+}
+
+func (g *slotGuard) release() {
+	if !g.released {
+		g.released = true
+		g.l.Release()
+	}
+}
+
 // executeRun is the submit-to-result core of POST /v1/run, shared with
 // BenchmarkServeCacheHit: everything except HTTP/JSON framing and
 // result retention. On the steady-state hit path it performs one
@@ -288,7 +347,7 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 	if req.Workers < 0 {
 		return badRequest(fmt.Errorf("negative workers %d (0 = single-threaded)", req.Workers))
 	}
-	e, cached, err := s.lookup(req.Program, req.Analyze)
+	e, cached, err := s.lookup(req.Program, runKey(req.Analyze))
 	if err != nil {
 		return err
 	}
@@ -296,8 +355,21 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 	if err != nil {
 		return badRequest(err)
 	}
-	if err := s.limiter.Acquire(ctx); err != nil {
-		return &statusError{code: http.StatusServiceUnavailable, err: fmt.Errorf("cancelled while waiting for a run slot: %w", err)}
+	// Admission replaces a bare limiter Acquire: a bounded pool of
+	// waiters, then load shedding with 429 + Retry-After (see
+	// admission.go). On success we hold one slot.
+	if err := s.adm.admit(ctx); err != nil {
+		return err
+	}
+	// The release is defer-guarded: core.Execute re-raises panics from
+	// buggy policies to its caller, and before this guard a panic —
+	// swallowed by net/http's handler recovery — leaked the slot
+	// permanently. The guard releases exactly once whether this
+	// function returns or unwinds.
+	guard := slotGuard{l: s.limiter}
+	defer guard.release()
+	if h := testHookAcquired; h != nil {
+		h()
 	}
 	// Intra-run sharding against the slot acquired above: each extra
 	// shard must win its own -max-concurrency slot, so a burst of
@@ -317,7 +389,7 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 		// instead of burning the slot to completion.
 		Context: ctx,
 	})
-	s.limiter.Release()
+	guard.release()
 	if err != nil {
 		return err
 	}
@@ -339,12 +411,24 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
+	t := tenantFrom(r.Context())
+	maxCycles, err := t.cycleBudget(req.MaxCycles)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	req.MaxCycles = maxCycles
+	if err := t.beginRun(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer t.endRun()
 	var resp RunResponse
 	if err := s.executeRun(r.Context(), &req, &resp); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	resp.ID = s.results.nextID()
@@ -354,12 +438,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	f, err := dsl.Parse(req.Program)
+	stream, err := streamParam(r)
 	if err != nil {
-		writeError(w, badRequest(err))
+		s.writeError(w, err)
+		return
+	}
+	if req.Workers < 0 {
+		s.writeError(w, badRequest(fmt.Errorf("negative workers %d (0 = one per CPU)", req.Workers)))
+		return
+	}
+	if req.RunWorkers < 0 {
+		s.writeError(w, badRequest(fmt.Errorf("negative run_workers %d (0 = single-threaded)", req.RunWorkers)))
 		return
 	}
 	axes := sweep.Axes{
@@ -371,48 +463,166 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for _, name := range req.Policies {
 		kind, err := core.ParsePolicy(name)
 		if err != nil {
-			writeError(w, badRequest(err))
+			s.writeError(w, badRequest(err))
 			return
 		}
 		axes.Policies = append(axes.Policies, kind)
 	}
-	rep, err := sweep.Run(r.Context(),
-		[]sweep.Case{{Name: "program", Program: f.Program, Topology: f.Topology}},
-		axes,
-		sweep.Options{Workers: req.Workers, MaxCycles: req.MaxCycles, Limiter: s.limiter})
-	if err != nil {
-		writeError(w, err)
+	// Validate the grid before any admission or streaming commitment:
+	// a streamed response commits its 200 with the headers, so every
+	// refusal must happen here.
+	if err := axes.Validate(); err != nil {
+		s.writeError(w, badRequest(err))
 		return
 	}
-	resp := &SweepResponse{ID: s.results.nextID(), Table: rep.Table()}
+	t := tenantFrom(r.Context())
+	maxCycles, err := t.cycleBudget(req.MaxCycles)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := t.checkGrid(axes.Size(1)); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := t.beginRun(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer t.endRun()
+	// Request-level admission: the sweep engine acquires the limiter
+	// per grid point, so the request itself only probes — an
+	// overloaded daemon sheds the whole sweep with 429 up front.
+	if err := s.adm.probe(r.Context()); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	job, err := s.prepareSweep(&req, axes, maxCycles)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if stream {
+		s.streamSweep(w, r, job)
+		return
+	}
+	rep, err := sweep.Run(r.Context(), job.cases, job.axes, job.opts)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := &SweepResponse{ID: s.results.nextID(), Scenario: job.scenario, Cached: job.cached, Table: rep.Table()}
 	for _, o := range rep.Outcomes {
-		resp.Outcomes = append(resp.Outcomes, SweepOutcome{
-			Case:      o.CaseName,
-			Policy:    o.Policy.String(),
-			Queues:    o.QueuesUsed,
-			Capacity:  o.Capacity,
-			Lookahead: o.Lookahead,
-			Result:    o.Result,
-			Cycles:    o.Cycles,
-			Error:     o.Err,
-		})
+		resp.Outcomes = append(resp.Outcomes, wireOutcome(o))
 	}
 	s.store(w, resp.ID, resp)
+}
+
+// wireOutcome converts one engine outcome to its wire form. The
+// buffered and streaming sweep paths share it, which is what makes a
+// streamed row byte-equivalent to the buffered list's element.
+func wireOutcome(o sweep.Outcome) SweepOutcome {
+	return SweepOutcome{
+		Case:      o.CaseName,
+		Policy:    o.Policy.String(),
+		Queues:    o.QueuesUsed,
+		Capacity:  o.Capacity,
+		Lookahead: o.Lookahead,
+		Result:    o.Result,
+		Cycles:    o.Cycles,
+		Error:     o.Err,
+	}
+}
+
+// sweepJob is a validated, cache-resolved sweep ready to run, shared
+// by the buffered and streaming paths.
+type sweepJob struct {
+	cases    []sweep.Case
+	axes     sweep.Axes
+	opts     sweep.Options
+	scenario string
+	cached   bool // every lookahead's analysis came from the cache
+}
+
+// prepareSweep resolves the request's per-lookahead analyses through
+// the scenario cache — the same content-addressed path /v1/run and
+// /v1/analyze use — and packages the sweep so the engine's own
+// analyze step never runs: repeated sweeps of one program skip
+// parsing, Analyze, and machine compilation entirely.
+func (s *Server) prepareSweep(req *SweepRequest, axes sweep.Axes, maxCycles int) (*sweepJob, error) {
+	type resolved struct {
+		a   *core.Analysis
+		err error
+	}
+	las := axes.WithDefaults().Lookaheads
+	res := make(map[int]resolved, len(las))
+	scenario := ""
+	cachedAll := true
+	var prog *model.Program
+	var topo topology.Topology
+	for _, la := range las {
+		if _, seen := res[la]; seen {
+			continue
+		}
+		e, hit, err := s.lookup(req.Program, sweepKey(la))
+		if err != nil {
+			// Unparseable program: a request-level 400, exactly as the
+			// run path refuses it.
+			return nil, err
+		}
+		a, aerr := e.wait()
+		res[la] = resolved{a: a, err: aerr}
+		if !hit {
+			cachedAll = false
+		}
+		scenario = e.scenario
+		if a != nil && prog == nil {
+			prog, topo = a.Program, a.Topology
+		}
+	}
+	if prog == nil {
+		// Every lookahead's analysis failed; parse once so the grid can
+		// still report the per-point errors the engine contract
+		// promises.
+		f, err := dsl.Parse(req.Program)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		prog, topo = f.Program, f.Topology
+	}
+	return &sweepJob{
+		cases: []sweep.Case{{Name: "program", Program: prog, Topology: topo}},
+		axes:  axes,
+		opts: sweep.Options{
+			Workers:    req.Workers,
+			RunWorkers: req.RunWorkers,
+			MaxCycles:  maxCycles,
+			Limiter:    s.limiter,
+			Analysis: func(_, lookahead int) (*core.Analysis, error) {
+				r := res[lookahead]
+				return r.a, r.err
+			},
+		},
+		scenario: scenario,
+		cached:   cachedAll,
+	}, nil
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	body, ok := s.results.get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("no result %q (retention is bounded; see /v1/stats)", id)})
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("no result %q (retention is bounded; see /v1/stats)", id)})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
+	if _, err := w.Write(body); err != nil {
+		s.logf("result %s: replay write: %v", id, err)
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.statsSnapshot())
+	s.writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
 // statsSnapshot assembles the live counters.
@@ -427,6 +637,12 @@ func (s *Server) statsSnapshot() StatsResponse {
 		// signal, not a per-endpoint counter.
 		InFlightRuns:   int64(s.limiter.InUse()),
 		MaxConcurrency: s.limiter.Cap(),
+		ShedRequests:   s.adm.shed.Load(),
+		QueueDepth:     s.adm.waiting.Load(),
+		QueueWait:      s.adm.waitCap,
+		Tenants:        s.tenants.count(),
+		TenantRejects:  s.tenants.rejectCount(),
+		AuthFailures:   s.tenants.authFailureCount(),
 		Results:        s.results.len(),
 		Requests:       s.requests.Load(),
 	}
@@ -438,13 +654,15 @@ func (s *Server) statsSnapshot() StatsResponse {
 func (s *Server) store(w http.ResponseWriter, id string, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
 	body = append(body, '\n')
 	s.results.save(id, body)
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
+	if _, err := w.Write(body); err != nil {
+		s.logf("result %s: response write: %v", id, err)
+	}
 }
 
 // expvar publication: one process-wide "sysdl_serve" Func that reads

@@ -328,6 +328,51 @@ func TestSweepEndpoint(t *testing.T) {
 	if !sawDeadlock || !sawCompleted {
 		t.Fatalf("sweep should contrast deadlock and completion: %+v", sr.Outcomes)
 	}
+	if sr.Cached {
+		t.Fatal("first sweep claims a cache hit")
+	}
+	if len(sr.Scenario) != 64 {
+		t.Fatalf("scenario %q is not a content hash", sr.Scenario)
+	}
+
+	// A repeated sweep is served from the compiled-scenario cache: no
+	// recompiles, cacheHits advances.
+	var before StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &before)
+	_, body2 := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Program:    fig7DSL,
+		Policies:   []string{"fcfs", "compatible"},
+		Queues:     []int{1, 2},
+		Capacities: []int{1},
+		Lookaheads: []int{0},
+		Seed:       1,
+	})
+	var sr2 SweepResponse
+	if err := json.Unmarshal(body2, &sr2); err != nil {
+		t.Fatalf("decode second: %v", err)
+	}
+	if !sr2.Cached {
+		t.Fatal("repeated sweep did not hit the scenario cache")
+	}
+	var after StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &after)
+	if after.CacheHits <= before.CacheHits {
+		t.Fatalf("CacheHits did not advance on a repeated sweep: %d → %d", before.CacheHits, after.CacheHits)
+	}
+	if after.CacheMisses != before.CacheMisses {
+		t.Fatalf("repeated sweep recompiled: misses %d → %d", before.CacheMisses, after.CacheMisses)
+	}
+
+	// The sweep's strict (lookahead 0) analysis is the same cache entry
+	// a default /v1/run uses — the cache is shared across endpoints.
+	_, rbody := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: fig7DSL})
+	var rr RunResponse
+	if err := json.Unmarshal(rbody, &rr); err != nil {
+		t.Fatalf("decode run: %v", err)
+	}
+	if !rr.Cached {
+		t.Fatal("default run after a sweep missed the shared cache entry")
+	}
 }
 
 func TestEvictionBound(t *testing.T) {

@@ -1,0 +1,336 @@
+package server
+
+// Per-tenant API keys and quotas. A Tenants registry is optional: with
+// none configured (the default), every gate below is a nil-receiver
+// no-op and the anonymous serving path pays nothing. With one, a
+// single middleware (Server.gate) authenticates each compute request
+// by API key, applies the tenant's requests/sec token bucket, and
+// threads the tenant through the request context so handlers can
+// enforce the tier's concurrency, grid-size, and cycle budgets.
+//
+// The registry is loaded from a small JSON file (-tenants <file>):
+//
+//	{
+//	  "tiers":   {"free": {"maxConcurrent": 1, "maxGridPoints": 64,
+//	                       "maxCycles": 100000, "requestsPerSec": 5, "burst": 10}},
+//	  "tenants": {"k-abc123": {"name": "alice", "tier": "free"}}
+//	}
+//
+// A tier value of 0 means unlimited for that dimension; a tenant with
+// no tier gets the zero TierPolicy, i.e. authenticated but unlimited.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TierPolicy is one quota tier. Every field's zero value means
+// "unlimited" so a partial tier only constrains what it names.
+type TierPolicy struct {
+	// MaxConcurrent bounds a tenant's simultaneous runs/sweeps.
+	MaxConcurrent int `json:"maxConcurrent,omitempty"`
+	// MaxGridPoints bounds the size of one sweep request's grid,
+	// after default-axis resolution.
+	MaxGridPoints int `json:"maxGridPoints,omitempty"`
+	// MaxCycles bounds the per-run cycle budget; requests above it are
+	// refused and requests that leave it unset are clamped to it.
+	MaxCycles int `json:"maxCycles,omitempty"`
+	// RequestsPerSec is a token-bucket rate on compute requests;
+	// Burst is its bucket depth (minimum 1).
+	RequestsPerSec float64 `json:"requestsPerSec,omitempty"`
+	Burst          int     `json:"burst,omitempty"`
+}
+
+// Tenants is the API-key registry. Build one with ParseTenants or
+// LoadTenants; it is immutable after construction and safe for
+// concurrent use (each tenant's mutable state is internally locked).
+type Tenants struct {
+	byKey map[string]*tenant
+
+	rejects      atomic.Int64 // quota/rate refusals across all tenants
+	authFailures atomic.Int64 // missing or unknown API keys
+}
+
+// tenant is one authenticated principal and its live quota state.
+type tenant struct {
+	name string
+	tier TierPolicy
+	reg  *Tenants
+
+	active atomic.Int64 // concurrent runs in flight
+
+	mu     sync.Mutex // guards the token bucket
+	tokens float64
+	last   time.Time
+}
+
+// tenantsFile is the on-disk shape.
+type tenantsFile struct {
+	Tiers   map[string]TierPolicy  `json:"tiers"`
+	Tenants map[string]tenantEntry `json:"tenants"`
+}
+
+type tenantEntry struct {
+	Name string `json:"name"`
+	Tier string `json:"tier,omitempty"`
+}
+
+// ParseTenants builds a registry from the JSON tenants-file format
+// above. Validation walks keys in sorted order so the first error
+// reported is deterministic.
+func ParseTenants(data []byte) (*Tenants, error) {
+	var f tenantsFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("tenants: %w", err)
+	}
+	if len(f.Tenants) == 0 {
+		return nil, errors.New("tenants: no tenants defined")
+	}
+	tierNames := make([]string, 0, len(f.Tiers))
+	for name := range f.Tiers {
+		tierNames = append(tierNames, name)
+	}
+	sort.Strings(tierNames)
+	for _, name := range tierNames {
+		p := f.Tiers[name]
+		if p.MaxConcurrent < 0 || p.MaxGridPoints < 0 || p.MaxCycles < 0 || p.RequestsPerSec < 0 || p.Burst < 0 {
+			return nil, fmt.Errorf("tenants: tier %q has a negative limit", name)
+		}
+	}
+	keys := make([]string, 0, len(f.Tenants))
+	for k := range f.Tenants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ts := &Tenants{byKey: make(map[string]*tenant, len(f.Tenants))}
+	now := time.Now()
+	for _, key := range keys {
+		e := f.Tenants[key]
+		if key == "" {
+			return nil, errors.New("tenants: empty API key")
+		}
+		if e.Name == "" {
+			return nil, fmt.Errorf("tenants: key %s has no name", redactKey(key))
+		}
+		tier := TierPolicy{}
+		if e.Tier != "" {
+			p, ok := f.Tiers[e.Tier]
+			if !ok {
+				return nil, fmt.Errorf("tenants: %q references unknown tier %q", e.Name, e.Tier)
+			}
+			tier = p
+		}
+		burst := float64(tier.Burst)
+		if burst < 1 {
+			burst = 1
+		}
+		ts.byKey[key] = &tenant{name: e.Name, tier: tier, reg: ts, tokens: burst, last: now}
+	}
+	return ts, nil
+}
+
+// LoadTenants reads and parses a tenants file.
+func LoadTenants(path string) (*Tenants, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenants: %w", err)
+	}
+	ts, err := ParseTenants(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ts, nil
+}
+
+// redactKey shows enough of an API key to identify it in an error
+// without reproducing the credential.
+func redactKey(k string) string {
+	if len(k) <= 4 {
+		return k
+	}
+	return k[:4] + "…"
+}
+
+// count, rejectCount, and authFailureCount feed /v1/stats; all are
+// nil-safe so anonymous servers report zeros.
+func (ts *Tenants) count() int {
+	if ts == nil {
+		return 0
+	}
+	return len(ts.byKey)
+}
+
+func (ts *Tenants) rejectCount() int64 {
+	if ts == nil {
+		return 0
+	}
+	return ts.rejects.Load()
+}
+
+func (ts *Tenants) authFailureCount() int64 {
+	if ts == nil {
+		return 0
+	}
+	return ts.authFailures.Load()
+}
+
+// authenticate resolves a request's API key — "Authorization: Bearer
+// <key>" or "X-API-Key: <key>" — to its tenant, counting failures.
+func (ts *Tenants) authenticate(r *http.Request) (*tenant, error) {
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			key = strings.TrimPrefix(auth, "Bearer ")
+		}
+	}
+	if key == "" {
+		ts.authFailures.Add(1)
+		return nil, &statusError{code: http.StatusUnauthorized, err: errors.New("missing API key (Authorization: Bearer <key> or X-API-Key)")}
+	}
+	t, ok := ts.byKey[key]
+	if !ok {
+		ts.authFailures.Add(1)
+		return nil, &statusError{code: http.StatusUnauthorized, err: errors.New("unknown API key")}
+	}
+	return t, nil
+}
+
+// gate wraps a compute handler with tenant authentication and rate
+// limiting. With no registry configured it returns the handler
+// unchanged — the anonymous path costs nothing.
+func (s *Server) gate(h http.HandlerFunc) http.HandlerFunc {
+	if s.tenants == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, err := s.tenants.authenticate(r)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if err := t.allowRequest(time.Now()); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		h(w, r.WithContext(withTenant(r.Context(), t)))
+	}
+}
+
+// tenantKey carries the authenticated tenant through a request
+// context.
+type tenantKey struct{}
+
+func withTenant(ctx context.Context, t *tenant) context.Context {
+	return context.WithValue(ctx, tenantKey{}, t)
+}
+
+// tenantFrom recovers the request's tenant; nil in anonymous mode.
+func tenantFrom(ctx context.Context) *tenant {
+	t, _ := ctx.Value(tenantKey{}).(*tenant)
+	return t
+}
+
+// allowRequest spends one token from the tenant's rate bucket,
+// refilling by elapsed time, and refuses with a tenant-scoped 429 —
+// Retry-After sized to the token deficit — when the bucket is empty.
+func (t *tenant) allowRequest(now time.Time) error {
+	if t == nil || t.tier.RequestsPerSec <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	burst := float64(t.tier.Burst)
+	if burst < 1 {
+		burst = 1
+	}
+	t.tokens += now.Sub(t.last).Seconds() * t.tier.RequestsPerSec
+	t.last = now
+	if t.tokens > burst {
+		t.tokens = burst
+	}
+	if t.tokens < 1 {
+		deficit := (1 - t.tokens) / t.tier.RequestsPerSec
+		t.mu.Unlock()
+		t.reg.rejects.Add(1)
+		retry := int(math.Ceil(deficit))
+		if retry < 1 {
+			retry = 1
+		}
+		return &statusError{
+			code:       http.StatusTooManyRequests,
+			retryAfter: retry,
+			err:        fmt.Errorf("tenant %q over its rate limit (%g requests/s)", t.name, t.tier.RequestsPerSec),
+		}
+	}
+	t.tokens--
+	t.mu.Unlock()
+	return nil
+}
+
+// beginRun claims one of the tenant's concurrent-run slots; endRun
+// returns it. Both are nil-safe.
+func (t *tenant) beginRun() error {
+	if t == nil {
+		return nil
+	}
+	if n := t.active.Add(1); t.tier.MaxConcurrent > 0 && n > int64(t.tier.MaxConcurrent) {
+		t.active.Add(-1)
+		t.reg.rejects.Add(1)
+		return &statusError{
+			code:       http.StatusTooManyRequests,
+			retryAfter: 1,
+			err:        fmt.Errorf("tenant %q at its concurrency limit (%d concurrent runs)", t.name, t.tier.MaxConcurrent),
+		}
+	}
+	return nil
+}
+
+func (t *tenant) endRun() {
+	if t != nil {
+		t.active.Add(-1)
+	}
+}
+
+// checkGrid refuses sweep grids over the tenant's tier bound.
+func (t *tenant) checkGrid(points int) error {
+	if t == nil || t.tier.MaxGridPoints <= 0 || points <= t.tier.MaxGridPoints {
+		return nil
+	}
+	t.reg.rejects.Add(1)
+	return &statusError{
+		code: http.StatusTooManyRequests,
+		err:  fmt.Errorf("tenant %q sweep grid of %d points exceeds its tier's %d", t.name, points, t.tier.MaxGridPoints),
+	}
+}
+
+// cycleBudget applies the tier's per-run cycle bound: explicit
+// requests above it are refused, an unset request (0) is clamped to
+// the bound so "use the default" can never exceed the tier.
+func (t *tenant) cycleBudget(requested int) (int, error) {
+	if t == nil || t.tier.MaxCycles <= 0 {
+		return requested, nil
+	}
+	if requested > t.tier.MaxCycles {
+		t.reg.rejects.Add(1)
+		return 0, &statusError{
+			code: http.StatusTooManyRequests,
+			err:  fmt.Errorf("tenant %q cycle budget %d exceeds its tier's %d", t.name, requested, t.tier.MaxCycles),
+		}
+	}
+	if requested == 0 {
+		return t.tier.MaxCycles, nil
+	}
+	return requested, nil
+}

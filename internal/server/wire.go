@@ -97,9 +97,15 @@ type SweepRequest struct {
 	Lookaheads []int    `json:"lookaheads,omitempty"`
 	Seed       int64    `json:"seed,omitempty"`
 	// Workers bounds the request's own fan-out; the server-wide
-	// -max-concurrency limiter applies on top.
-	Workers   int `json:"workers,omitempty"`
-	MaxCycles int `json:"maxCycles,omitempty"`
+	// -max-concurrency limiter applies on top. Negative is refused
+	// with 400 (0 = one per CPU), matching the run endpoint.
+	Workers int `json:"workers,omitempty"`
+	// RunWorkers shards each grid point's simulation, mirroring the
+	// CLI's -run-workers flag (snake_case to match it; 0 or 1 =
+	// single-threaded). Each extra shard must win its own limiter
+	// slot, so saturation degrades shard counts, never results.
+	RunWorkers int `json:"run_workers,omitempty"`
+	MaxCycles  int `json:"maxCycles,omitempty"`
 }
 
 // SweepOutcome is one grid point of a SweepResponse.
@@ -118,10 +124,29 @@ type SweepOutcome struct {
 
 // SweepResponse is the body returned by POST /v1/sweep.
 type SweepResponse struct {
-	ID       string         `json:"id"`
+	ID string `json:"id"`
+	// Scenario is the canonical content hash of (program, topology);
+	// Cached is true when every per-lookahead analysis the grid needed
+	// was already resident in the compiled-scenario cache.
+	Scenario string         `json:"scenario"`
+	Cached   bool           `json:"cached"`
 	Outcomes []SweepOutcome `json:"outcomes"`
 	// Table is the engine's rendered fixed-width report.
 	Table string `json:"table"`
+}
+
+// SweepStreamSummary is the terminal NDJSON row of POST
+// /v1/sweep?stream=1, after one SweepOutcome row per grid point. Its
+// ID retrieves the buffered-form document via GET /v1/results/{id}.
+type SweepStreamSummary struct {
+	ID string `json:"id"`
+	// Done distinguishes the summary row from outcome rows.
+	Done bool `json:"done"`
+	// Rows is the number of outcome rows that preceded this one.
+	Rows     int    `json:"rows"`
+	Scenario string `json:"scenario"`
+	Cached   bool   `json:"cached"`
+	Table    string `json:"table"`
 }
 
 // StatsResponse is the body returned by GET /v1/stats.
@@ -137,6 +162,18 @@ type StatsResponse struct {
 	// MaxConcurrency is the limiter bound they share.
 	InFlightRuns   int64 `json:"inFlightRuns"`
 	MaxConcurrency int   `json:"maxConcurrency"`
+	// ShedRequests counts requests refused with 429 because the
+	// bounded wait pool was full; QueueDepth is the number of requests
+	// waiting for a run slot right now; QueueWait is the pool's bound.
+	ShedRequests int64 `json:"shedRequests"`
+	QueueDepth   int64 `json:"queueDepth"`
+	QueueWait    int   `json:"queueWait"`
+	// Tenants is the number of configured API keys (0 = anonymous
+	// mode); TenantRejects counts per-tenant quota and rate-limit
+	// refusals; AuthFailures counts missing or unknown API keys.
+	Tenants       int   `json:"tenants"`
+	TenantRejects int64 `json:"tenantRejects"`
+	AuthFailures  int64 `json:"authFailures"`
 	// Results is the number of retained result documents; Requests
 	// counts every /v1/* request handled.
 	Results  int   `json:"results"`

@@ -112,7 +112,11 @@ func DefaultAxes() Axes {
 	}
 }
 
-func (a Axes) withDefaults() Axes {
+// WithDefaults resolves empty axes to the DefaultAxes values — the
+// exact grid Run will enumerate. Callers that need the grid's shape
+// before running it (the serving layer sizes quotas and pre-resolves
+// per-lookahead analyses) use this to agree with the engine.
+func (a Axes) WithDefaults() Axes {
 	d := DefaultAxes()
 	if len(a.Policies) == 0 {
 		a.Policies = d.Policies
@@ -129,9 +133,28 @@ func (a Axes) withDefaults() Axes {
 	return a
 }
 
+// Validate reports the first configuration error in the axes, after
+// default resolution — the same checks Run performs up front, exported
+// so callers that stream results can refuse a bad grid before any
+// response bytes are committed.
+func (a Axes) Validate() error {
+	a = a.WithDefaults()
+	for _, q := range a.Queues {
+		if q < 0 {
+			return fmt.Errorf("sweep: negative queue budget %d", q)
+		}
+	}
+	for _, cp := range a.Capacities {
+		if cp < 1 {
+			return fmt.Errorf("sweep: capacity %d < 1 (the latch regime needs a dedicated run, not a grid)", cp)
+		}
+	}
+	return nil
+}
+
 // Size returns the number of grid points for numCases cases.
 func (a Axes) Size(numCases int) int {
-	a = a.withDefaults()
+	a = a.WithDefaults()
 	return numCases * len(a.Policies) * len(a.Queues) * len(a.Capacities) * len(a.Lookaheads)
 }
 
@@ -193,6 +216,26 @@ type Options struct {
 	// serving layer passes its -max-concurrency limiter here, so
 	// concurrent sweeps and single runs draw from one pool).
 	Limiter *Limiter
+	// OnOutcome, when non-nil, is called once per grid point as it
+	// completes, from the worker goroutine that ran it, after the
+	// point's limiter slot has been released — a slow consumer (a
+	// streaming HTTP client) therefore never pins the process-wide
+	// simulation budget. Indices arrive in completion order, not
+	// enumeration order; the outcome passed is exactly the value the
+	// final report carries at that index, so a caller that re-sorts by
+	// index reconstructs the report's order-stable outcome list.
+	// The callback must be safe for concurrent use. Grid points
+	// abandoned by cancellation are never reported.
+	OnOutcome func(index int, o Outcome)
+	// Analysis, when non-nil, replaces the engine's own per-(case,
+	// lookahead) analysis step: the engine calls it exactly once per
+	// distinct (case index, lookahead budget) pair during warm-up and
+	// shares the result across the whole grid. The serving layer uses
+	// this to route sweep analyses through its content-addressed
+	// compiled-machine cache, so repeated sweeps of one program skip
+	// Analyze and machine compilation entirely. An error is reported
+	// per grid point exactly like a failed in-engine analysis.
+	Analysis func(caseIdx, lookahead int) (*core.Analysis, error)
 }
 
 // Report is the order-stable result of a sweep: Outcomes[i] is grid
@@ -215,17 +258,10 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 			return nil, fmt.Errorf("sweep: case %d (%q) missing program or topology", i, c.Name)
 		}
 	}
-	axes = axes.withDefaults()
-	for _, q := range axes.Queues {
-		if q < 0 {
-			return nil, fmt.Errorf("sweep: negative queue budget %d", q)
-		}
+	if err := axes.Validate(); err != nil {
+		return nil, err
 	}
-	for _, cp := range axes.Capacities {
-		if cp < 1 {
-			return nil, fmt.Errorf("sweep: capacity %d < 1 (the latch regime needs a dedicated run, not a grid)", cp)
-		}
-	}
+	axes = axes.WithDefaults()
 
 	// Enumerate the grid in a fixed order; the report inherits it.
 	configs := make([]Config, 0, axes.Size(len(cases)))
@@ -244,7 +280,7 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 		}
 	}
 
-	cache := newAnalysisCache(cases)
+	cache := newAnalysisCache(cases, opts.Analysis)
 	for _, cfg := range configs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -255,14 +291,23 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 	outcomes := make([]Outcome, len(configs))
 	if err := ForEach(ctx, len(configs), opts.Workers, func(i int) {
 		cfg := configs[i]
-		if err := opts.Limiter.Acquire(ctx); err != nil {
-			// ctx cancelled while waiting for a slot; Run returns
-			// ctx.Err() below, so the outcome is never observed.
-			return
+		ran := func() bool {
+			if err := opts.Limiter.Acquire(ctx); err != nil {
+				// ctx cancelled while waiting for a slot; Run returns
+				// ctx.Err() below, so the outcome is never observed.
+				return false
+			}
+			defer opts.Limiter.Release()
+			a, aerr := cache.get(cfg.Case, cfg.Lookahead)
+			outcomes[i] = runOne(ctx, cases[cfg.Case], cfg, a, aerr, opts)
+			return true
+		}()
+		// The callback runs outside the inner closure so the limiter
+		// slot is already back in the pool: a consumer that blocks here
+		// stalls this worker, never the process-wide budget.
+		if ran && opts.OnOutcome != nil {
+			opts.OnOutcome(i, outcomes[i])
 		}
-		defer opts.Limiter.Release()
-		a, aerr := cache.get(cfg.Case, cfg.Lookahead)
-		outcomes[i] = runOne(ctx, cases[cfg.Case], cfg, a, aerr, opts)
 	}); err != nil {
 		return nil, err
 	}
@@ -291,16 +336,20 @@ type akey struct{ caseIdx, lookahead int }
 // analysisCache memoizes Analyze per (case, lookahead) and pre-warms
 // each analysis' compiled machine, so the worker pool runs the entire
 // grid as pure simulation: zero route computations, zero labelings,
-// zero machine compiles per grid point.
+// zero machine compiles per grid point. When a provider is installed
+// (Options.Analysis), it replaces the in-engine analyze step and the
+// cache merely memoizes its results.
 type analysisCache struct {
 	cases    []Case
+	provider func(caseIdx, lookahead int) (*core.Analysis, error)
 	analyses map[akey]*core.Analysis
 	errs     map[akey]error
 }
 
-func newAnalysisCache(cases []Case) *analysisCache {
+func newAnalysisCache(cases []Case, provider func(int, int) (*core.Analysis, error)) *analysisCache {
 	return &analysisCache{
 		cases:    cases,
+		provider: provider,
 		analyses: make(map[akey]*core.Analysis),
 		errs:     make(map[akey]error),
 	}
@@ -317,7 +366,13 @@ func (c *analysisCache) warm(caseIdx, lookahead int) {
 	if _, seen := c.errs[k]; seen {
 		return
 	}
-	a, err := analyze(c.cases[caseIdx], lookahead)
+	var a *core.Analysis
+	var err error
+	if c.provider != nil {
+		a, err = c.provider(caseIdx, lookahead)
+	} else {
+		a, err = analyze(c.cases[caseIdx], lookahead)
+	}
 	if err != nil {
 		c.errs[k] = err
 		return

@@ -2,9 +2,11 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -220,6 +222,105 @@ func TestAnalysisMemoizedAcrossGrid(t *testing.T) {
 	}
 	if large != small {
 		t.Fatalf("route computations grew with the grid: %d (1-point axes) vs %d (36-point axes); analysis not memoized", small, large)
+	}
+}
+
+// TestOnOutcomeReportsEveryGridPoint pins the streaming hook's
+// contract: every grid point is reported exactly once, tagged with its
+// enumeration index, carrying the same outcome the final report holds
+// at that index — so a consumer re-sorting by index reconstructs the
+// order-stable report byte-for-byte.
+func TestOnOutcomeReportsEveryGridPoint(t *testing.T) {
+	cases := testCases()
+	axes := Axes{
+		Policies:   []core.PolicyKind{core.NaiveFCFS, core.DynamicCompatible},
+		Queues:     []int{1, 2},
+		Capacities: []int{1},
+		Lookaheads: []int{0},
+		Seed:       1,
+	}
+	var mu sync.Mutex
+	got := make(map[int]Outcome)
+	rep, err := Run(context.Background(), cases, axes, Options{
+		Workers: 4,
+		OnOutcome: func(i int, o Outcome) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := got[i]; dup {
+				t.Errorf("grid point %d reported twice", i)
+			}
+			got[i] = o
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rep.Outcomes) {
+		t.Fatalf("callback saw %d grid points, report has %d", len(got), len(rep.Outcomes))
+	}
+	for i, want := range rep.Outcomes {
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("callback outcome %d diverges from the report:\n%+v\nvs\n%+v", i, got[i], want)
+		}
+	}
+}
+
+// TestAnalysisProviderBypassesEngineAnalyze: with Options.Analysis
+// installed, the engine must never route messages itself — the
+// provider's analyses power the whole grid, and provider errors
+// surface per grid point like in-engine analysis failures.
+func TestAnalysisProviderBypassesEngineAnalyze(t *testing.T) {
+	calls := 0
+	f7 := workload.Fig7(workload.Fig7Options{})
+	cases := []Case{{
+		Name:     "fig7",
+		Program:  f7.Program,
+		Topology: countingTopology{Topology: f7.Topology, calls: &calls},
+	}}
+	pre, err := analyze(Case{Name: "fig7", Program: f7.Program, Topology: f7.Topology}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls = 0
+	axes := Axes{
+		Policies:   []core.PolicyKind{core.DynamicCompatible},
+		Queues:     []int{0, 1},
+		Capacities: []int{1},
+		Lookaheads: []int{0},
+		Seed:       1,
+	}
+	providerCalls := 0
+	rep, err := Run(context.Background(), cases, axes, Options{
+		Workers: 1,
+		Analysis: func(caseIdx, lookahead int) (*core.Analysis, error) {
+			providerCalls++
+			if caseIdx != 0 || lookahead != 0 {
+				t.Errorf("provider asked for (%d, %d), want (0, 0)", caseIdx, lookahead)
+			}
+			return pre, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("engine routed %d messages despite the provider", calls)
+	}
+	if providerCalls != 1 {
+		t.Fatalf("provider called %d times, want once per (case, lookahead)", providerCalls)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Result != "completed" {
+			t.Fatalf("provider-powered grid point failed: %+v", o)
+		}
+	}
+
+	if _, err := Run(context.Background(), cases, axes, Options{
+		Analysis: func(int, int) (*core.Analysis, error) {
+			return nil, fmt.Errorf("boom")
+		},
+	}); err != nil {
+		t.Fatalf("provider error must surface per grid point, not fail the run: %v", err)
 	}
 }
 
