@@ -10,6 +10,7 @@ package systolic_test
 // allocation behavior.
 
 import (
+	"context"
 	"testing"
 
 	"systolic"
@@ -59,6 +60,49 @@ func TestAllocGateExecute(t *testing.T) {
 func TestAllocGateExecuteScaleFree(t *testing.T) {
 	a := largeLinearWorkload(t, 1024, 4)
 	allocGate(t, "large-linear-1024", 48, a, systolic.ExecOptions{Capacity: 2})
+}
+
+// TestAllocGateSweepBatch gates the column-batched sweep driver: on
+// the benchmark grid (Figs 7–8 × 3 policies × 4 queue budgets × 3
+// capacities × 2 lookaheads = 144 points) the whole sweep — per-column
+// analyses included — must average at most 8 allocations per grid
+// point. The batched driver's point is that a span's retained
+// core.Runner replays its column without round-tripping scratch
+// through the machine's pool; an O(cycles) or O(cells) per-point
+// regression multiplies by 144 and trips this instantly (measured
+// steady state: ~6.4 allocs/point).
+func TestAllocGateSweepBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gates are not meaningful under -race")
+	}
+	f7 := systolic.Fig7Workload(systolic.Fig7Options{})
+	f8 := systolic.Fig8Workload()
+	cases := []systolic.SweepCase{
+		{Name: "fig7", Program: f7.Program, Topology: f7.Topology},
+		{Name: "fig8", Program: f8.Program, Topology: f8.Topology},
+	}
+	axes := systolic.SweepAxes{
+		Policies:   []systolic.PolicyKind{systolic.NaiveFCFS, systolic.StaticAssignment, systolic.DynamicCompatible},
+		Queues:     []int{0, 1, 2, 3},
+		Capacities: []int{1, 2, 4},
+		Lookaheads: []int{0, 2},
+		Seed:       1,
+	}
+	points := axes.Size(len(cases))
+	run := func() {
+		rep, err := systolic.Sweep(context.Background(), cases, axes, systolic.SweepOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Outcomes) != points {
+			t.Fatalf("report has %d outcomes, want %d", len(rep.Outcomes), points)
+		}
+	}
+	run() // warm (nothing persists across sweeps today, but keep the gate's shape uniform)
+	perPoint := testing.AllocsPerRun(5, run) / float64(points)
+	if perPoint > 8 {
+		t.Errorf("batched sweep: %.2f allocs per grid point, budget 8", perPoint)
+	}
 }
 
 // TestAllocGateParallel gates the sharded runner's steady state: a

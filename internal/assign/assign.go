@@ -83,8 +83,14 @@ type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Setup validates the context and precomputes per-link state. It
-	// must be called exactly once before Grant, and must not mutate
-	// or retain-for-writing anything reachable from ctx.
+	// must be called exactly once per run before any Grant, and must
+	// not mutate or retain-for-writing anything reachable from ctx.
+	// Callers that reuse one policy instance across runs (the batch
+	// runner replays a grid column through retained instances) call
+	// Setup again at the start of each run; implementations must reset
+	// every piece of per-run state there, so that a reused instance is
+	// indistinguishable from a fresh one. Retaining scratch capacity
+	// across runs is encouraged.
 	Setup(ctx *Context) error
 	// Grant returns the messages to bind to free queues on link now.
 	// free is the number of unbound queues; pending lists messages
@@ -139,8 +145,30 @@ func (c *compatible) Setup(ctx *Context) error {
 			c.order[link] = sorted
 		}
 	}
-	c.next = make([]int, len(c.order))
+	c.next = resetInts(c.next, len(c.order))
 	return nil
+}
+
+// resetInts returns a zeroed int slice of length n, reusing s's
+// backing array when it is large enough — the re-Setup path of a
+// reused policy instance.
+func resetInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// resetBools is resetInts for []bool.
+func resetBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 func (c *compatible) Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID {
@@ -178,6 +206,7 @@ func Static() Policy { return &static{} }
 
 type static struct {
 	competing [][]model.MessageID // per pool; shared read-only
+	sorted    [][]model.MessageID // ascending copies of competing, cached across re-Setups
 	done      []bool
 }
 
@@ -199,9 +228,39 @@ func (s *static) Setup(ctx *Context) error {
 				link, len(msgs), ctx.QueuesPerLink)
 		}
 	}
+	// The sorted grant lists depend only on the competing sets, which
+	// are shared read-only state of the compiled machine — a re-Setup
+	// on the same sets (the batch runner's reuse path) keeps the cache.
+	if !samePools(s.competing, byPool) {
+		s.sorted = make([][]model.MessageID, len(byPool))
+		for link, msgs := range byPool {
+			sorted := append([]model.MessageID(nil), msgs...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			s.sorted[link] = sorted
+		}
+	}
 	s.competing = byPool
-	s.done = make([]bool, len(byPool))
+	s.done = resetBools(s.done, len(byPool))
 	return nil
+}
+
+// samePools reports whether two per-pool competing sets share the same
+// backing arrays — the cheap identity check behind the static policy's
+// sorted-grant cache (identical backing implies identical contents,
+// since both sides are read-only).
+func samePools(a, b [][]model.MessageID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		if len(a[i]) > 0 && &a[i][0] != &b[i][0] {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *static) Grant(now int, link topology.LinkID, free int, pending []model.MessageID) []model.MessageID {
@@ -209,9 +268,7 @@ func (s *static) Grant(now int, link topology.LinkID, free int, pending []model.
 		return nil
 	}
 	s.done[link] = true
-	msgs := append([]model.MessageID(nil), s.competing[link]...)
-	sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
-	return msgs
+	return s.sorted[link]
 }
 
 // Arbiter selects the order in which a naive policy serves pending
@@ -266,8 +323,14 @@ func (n *naive) Name() string { return "naive-" + n.arb.String() }
 func (n *naive) Setup(ctx *Context) error {
 	if n.arb == Random {
 		// Only the random arbiter draws; the others skip the RNG
-		// allocation entirely.
-		n.rng = rand.New(rand.NewSource(n.seed))
+		// allocation entirely. A re-Setup re-seeds the retained RNG,
+		// so a reused instance draws the same sequence a fresh one
+		// would.
+		if n.rng == nil {
+			n.rng = rand.New(rand.NewSource(n.seed))
+		} else {
+			n.rng.Seed(n.seed)
+		}
 	}
 	n.labels = ctx.Labels
 	if n.arb == LabelDescending && n.labels == nil {

@@ -124,7 +124,6 @@ func Analyze(p *model.Program, t topology.Topology, opts AnalyzeOptions) (*Analy
 		return nil, err
 	}
 	a := &Analysis{Program: p, Topology: t, Routes: routes}
-	a.Strict = crossoff.Classify(p, crossoff.Options{Picker: opts.Picker})
 
 	budget := opts.BudgetOverride
 	if budget == nil && opts.Lookahead {
@@ -132,6 +131,14 @@ func Analyze(p *model.Program, t topology.Topology, opts AnalyzeOptions) (*Analy
 	}
 	copts := crossoff.Options{Lookahead: opts.Lookahead, Budget: budget, Picker: opts.Picker}
 	res := crossoff.Run(p, copts)
+	if opts.Lookahead {
+		a.Strict = crossoff.Classify(p, crossoff.Options{Picker: opts.Picker})
+	} else {
+		// Without lookahead the main run IS the strict classification
+		// (Budget is ignored when Lookahead is off), so don't cross off
+		// the whole program a second time.
+		a.Strict = res.DeadlockFree
+	}
 	a.DeadlockFree = res.DeadlockFree
 	a.Blocked = res.Blocked
 	if !a.DeadlockFree {
@@ -300,37 +307,54 @@ func (a *Analysis) ResolveQueues(policy PolicyKind, requested int) int {
 // (ii) first (unless Force) so that a refusal is a clear report rather
 // than a run-time stall.
 func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
+	m, mopts, err := lower(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	mopts.Policy = opts.Policy.policy(opts.Seed)
+	return m.Run(mopts)
+}
+
+// lower validates ExecOptions against an analysis and lowers them to
+// the machine layer: budget resolution and the Theorem 1 precondition
+// check. Execute and Runner.Execute share it so the batch path rejects
+// exactly what the pooled path rejects, with byte-identical error
+// strings. The returned options carry a nil Policy — the caller
+// instantiates it (Execute fresh per call, Runner from its retained
+// per-kind instances).
+func lower(a *Analysis, opts ExecOptions) (*machine.Machine, machine.ExecOptions, error) {
+	var none machine.ExecOptions
 	if a == nil || a.Program == nil {
-		return nil, &OptionError{Op: "Execute", Field: "Analysis", Reason: "nil analysis"}
+		return nil, none, &OptionError{Op: "Execute", Field: "Analysis", Reason: "nil analysis"}
 	}
 	if a.Topology == nil {
-		return nil, &OptionError{Op: "Execute", Field: "Analysis.Topology", Reason: "nil topology"}
+		return nil, none, &OptionError{Op: "Execute", Field: "Analysis.Topology", Reason: "nil topology"}
 	}
 	if opts.QueuesPerLink < 0 {
-		return nil, &OptionError{Op: "Execute", Field: "QueuesPerLink", Reason: fmt.Sprintf("negative queue count %d (0 = analysis minimum)", opts.QueuesPerLink)}
+		return nil, none, &OptionError{Op: "Execute", Field: "QueuesPerLink", Reason: fmt.Sprintf("negative queue count %d (0 = analysis minimum)", opts.QueuesPerLink)}
 	}
 	if opts.Capacity < 0 {
-		return nil, &OptionError{Op: "Execute", Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", opts.Capacity)}
+		return nil, none, &OptionError{Op: "Execute", Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", opts.Capacity)}
 	}
 	if opts.ExtCapacity < 0 {
-		return nil, &OptionError{Op: "Execute", Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", opts.ExtCapacity)}
+		return nil, none, &OptionError{Op: "Execute", Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", opts.ExtCapacity)}
 	}
 	if opts.ExtPenalty < 0 {
-		return nil, &OptionError{Op: "Execute", Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", opts.ExtPenalty)}
+		return nil, none, &OptionError{Op: "Execute", Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", opts.ExtPenalty)}
 	}
 	if opts.MaxCycles < 0 {
-		return nil, &OptionError{Op: "Execute", Field: "MaxCycles", Reason: fmt.Sprintf("negative cycle bound %d", opts.MaxCycles)}
+		return nil, none, &OptionError{Op: "Execute", Field: "MaxCycles", Reason: fmt.Sprintf("negative cycle bound %d", opts.MaxCycles)}
 	}
 	if opts.Workers < 0 {
-		return nil, &OptionError{Op: "Execute", Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
+		return nil, none, &OptionError{Op: "Execute", Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
 	}
 	switch opts.Policy {
 	case DynamicCompatible, StaticAssignment, NaiveFCFS, NaiveLIFO, NaiveRandom, NaiveAdversarial:
 	default:
-		return nil, &OptionError{Op: "Execute", Field: "Policy", Reason: fmt.Sprintf("unknown policy kind %d", int(opts.Policy))}
+		return nil, none, &OptionError{Op: "Execute", Field: "Policy", Reason: fmt.Sprintf("unknown policy kind %d", int(opts.Policy))}
 	}
 	if !a.DeadlockFree {
-		return nil, fmt.Errorf("core: program is not deadlock-free: %s",
+		return nil, none, fmt.Errorf("core: program is not deadlock-free: %s",
 			crossoff.DescribeBlocked(a.Program, a.Blocked))
 	}
 	queues := a.ResolveQueues(opts.Policy, opts.QueuesPerLink)
@@ -342,13 +366,13 @@ func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
 		switch opts.Policy {
 		case DynamicCompatible:
 			if queues < a.MinQueuesDynamic {
-				return nil, fmt.Errorf(
+				return nil, none, fmt.Errorf(
 					"core: %d queues per link < %d required by the largest equal-label group (Theorem 1 assumption (ii)); pass Force to run anyway",
 					queues, a.MinQueuesDynamic)
 			}
 		case StaticAssignment:
 			if queues < a.MinQueuesStatic {
-				return nil, fmt.Errorf(
+				return nil, none, fmt.Errorf(
 					"core: %d queues per link < %d required for static assignment; pass Force to run anyway",
 					queues, a.MinQueuesStatic)
 			}
@@ -356,10 +380,9 @@ func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
 	}
 	m, err := a.Machine()
 	if err != nil {
-		return nil, err
+		return nil, none, err
 	}
-	return m.Run(machine.ExecOptions{
-		Policy:           opts.Policy.policy(opts.Seed),
+	return m, machine.ExecOptions{
 		QueuesPerLink:    queues,
 		Capacity:         capacity,
 		ExtCapacity:      opts.ExtCapacity,
@@ -370,5 +393,67 @@ func Execute(a *Analysis, opts ExecOptions) (*sim.Result, error) {
 		RecordTimeline:   opts.RecordTimeline,
 		Workers:          opts.Workers,
 		Context:          opts.Context,
-	})
+	}, nil
+}
+
+// Runner is a batched execution context over one analysis: it owns a
+// dedicated machine.Exec and replays configurations against it
+// back-to-back, so a column of grid points pays sync.Pool traffic and
+// scratch allocation zero times instead of once per point. Validation,
+// budget resolution, and the Theorem 1 precondition check are the
+// shared lower step — a Runner rejects exactly the configurations
+// Execute rejects, with identical error strings, and a completed run
+// produces byte-identical Result content.
+//
+// The Result lifetime contract is machine.Exec's: the returned Result
+// aliases the Runner's retained buffers and is valid only until the
+// next Execute call on the same Runner. A Runner is NOT safe for
+// concurrent use; concurrent callers use Execute, which is.
+type Runner struct {
+	a  *Analysis
+	ex *machine.Exec
+	// policies retains one assign.Policy instance per kind: policies
+	// fully reset their per-run state in Setup (see assign.Policy), so
+	// reuse is invisible in results while eliding the per-grid-point
+	// constructor and grant-scratch allocations. seeds invalidates an
+	// instance when the caller's seed changes (only randomized
+	// policies read it, but re-creating is cheaper than knowing which).
+	policies [NaiveAdversarial + 1]assign.Policy
+	seeds    [NaiveAdversarial + 1]int64
+}
+
+// NewRunner returns a batched execution context for a. The analysis'
+// machine is compiled lazily on the first Execute, exactly as the
+// package-level Execute does, so constructing a Runner for an analysis
+// that turns out never to run costs nothing.
+func NewRunner(a *Analysis) *Runner {
+	return &Runner{a: a}
+}
+
+// Execute runs one configuration against the Runner's retained
+// execution context. See Runner for the Result lifetime contract.
+//
+//sysvet:hotpath
+func (r *Runner) Execute(opts ExecOptions) (*sim.Result, error) {
+	m, mopts, err := lower(r.a, opts)
+	if err != nil {
+		return nil, err
+	}
+	mopts.Policy = r.policyFor(opts.Policy, opts.Seed)
+	if r.ex == nil {
+		r.ex = m.NewExec()
+	}
+	return r.ex.Run(mopts)
+}
+
+// policyFor returns the Runner's retained policy instance for a kind,
+// creating it on first use and replacing it when the seed changes.
+// lower has already validated the kind.
+func (r *Runner) policyFor(k PolicyKind, seed int64) assign.Policy {
+	i := int(k)
+	if r.policies[i] == nil || r.seeds[i] != seed {
+		r.policies[i] = k.policy(seed)
+		r.seeds[i] = seed
+	}
+	return r.policies[i]
 }

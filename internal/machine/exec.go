@@ -1,9 +1,7 @@
 package machine
 
 import (
-	"fmt"
-	"slices"
-	"sort"
+	"strconv"
 
 	"systolic/internal/assign"
 	"systolic/internal/model"
@@ -45,21 +43,27 @@ import (
 //   - queues: cooldown ticks touch only queues with an armed
 //     extension penalty ("cooling list").
 //
-// All message-set iterations run in ascending message id (sorted
-// lists or sorted-at-use buffers), matching the reference engine's
-// message-order scans; set membership is a superset of the entries
-// the reference scan could act on, so skipped entries are exactly its
-// no-ops.
+// Every ready set is a word-packed bitset (bitset.go) whose
+// TrailingZeros64 iteration visits members in ascending id order by
+// construction, matching the reference engine's message-order scans
+// with no per-cycle sorting; set membership is a superset of the
+// entries the reference scan could act on, so skipped entries are
+// exactly its no-ops.
 //
 // Since the deterministic-sharding refactor every ready-set phase is
 // written against a shard: fn(s) visits only the entries shard s owns
-// (a contiguous position chunk of the sorted work list, or the
-// messages whose contended cell lies in s's cell range) and defers
-// every shared-structure effect to sinks[s], which the coordinator
-// merges in ascending shard order after the phase (see parallel.go
-// for the ownership and merge-order argument). Workers=1 runs the
-// same phases over a single shard — there is no separate sequential
-// scheduler to drift from.
+// (a contiguous id range of the set's key space, or the messages
+// whose contended cell lies in s's cell range) and defers every
+// shared-structure effect to sinks[s], which the coordinator merges
+// in ascending shard order after the phase (see parallel.go for the
+// ownership and merge-order argument — id-range chunks concatenate
+// to the full ascending order just as position chunks of a sorted
+// list did). Workers=1 runs the same phases over a single shard, with
+// one shortcut: in direct mode (exec.direct) the note*/shard sites
+// apply each effect to the canonical structure in place and the
+// merges are skipped — see the direct field's comment for the
+// per-structure safety argument, and parallel.go's header for why
+// this stays byte-identical.
 //
 // Blocked-cycle accounting is derived in closed form at the end of a
 // run (per cell: cycles elapsed while unfinished minus ops issued)
@@ -117,55 +121,82 @@ type exec struct {
 	finishedAt []int // per cell: cycle of its final issue
 	remaining  int   // cells with ops left
 
-	cellDirty  []bool
-	dirtyCells []int // cells whose pc advanced since the last collect
+	// The ready sets. Every one is coordinator-owned (see bitset.go's
+	// concurrency contract): workers read them during a phase and
+	// defer membership changes through their sink; only the
+	// coordinator flips bits, at init, between phase barriers, and in
+	// mergeSinks.
 
-	// transport lists messages with words buffered somewhere on their
-	// route (written > read): the only messages reads and interior
-	// advances can act on. Sorted ascending; stale entries carry a
-	// false inTransport flag and are compacted at the next visit.
-	transport   []model.MessageID
-	inTransport []bool
-	// writers lists messages whose sender is parked at W(msg) with
-	// the first-hop queue bound: the only candidates for sender
+	// dirty holds the cells whose pc advanced since the last collect.
+	dirty bitset
+	// transport holds the messages with words buffered somewhere on
+	// their route (written > read): the only messages reads and
+	// interior advances can act on. Drained entries are flagged by
+	// the read shards (sink.drops) and dropped by the coordinator
+	// before the advance phase — the bitset analogue of the old
+	// keep-flag compaction.
+	transport bitset
+	// writers holds the messages whose sender is parked at W(msg)
+	// with the first-hop queue bound: the only candidates for sender
 	// writes and capacity-0 rendezvous. Maintained by the grant and
-	// pc-advance hooks; writerScratch snapshots it per cycle so
-	// mid-cycle insertions target the real list.
-	writers       []model.MessageID
-	writeReady    []bool
-	writerScratch []model.MessageID
-	// reqCheck lists messages pushed into since the last collect: the
-	// only candidates for new interior-hop queue requests.
-	reqCheck []model.MessageID
-	reqFlag  []bool
-	// movedMsgs lists messages with a departure event this cycle: the
-	// only candidates for queue release.
-	movedMsgs []model.MessageID
-	movedFlag []bool
-
-	poolArmed  []bool
-	armed      []int // pools to visit next grantPhase (sorted at use)
-	armedSpare []int
+	// pc-advance hooks; writerSnap snapshots it each cycle so
+	// mid-cycle insertions target the real set. writeReady stays a
+	// byte-flag array because write shards clear entries in place
+	// mid-phase, and bits within one bitset word are not independent
+	// memory locations.
+	writers    bitset
+	writerSnap bitset
+	writeReady []bool
+	// reqSet holds the messages pushed into since the last collect:
+	// the only candidates for new interior-hop queue requests.
+	reqSet bitset
+	// movedSet holds the messages with a departure event this cycle:
+	// the only candidates for queue release.
+	movedSet bitset
+	// armed holds the pools to visit next grantPhase. The grant phase
+	// swaps it with armedScratch so pools re-armed while granting land
+	// in the following visit's set, never the one being iterated.
+	armed        bitset
+	armedScratch bitset
 
 	cooling []int // queue slots with a possibly-armed cooldown
 
-	received [][]Word // escapes into Result; fresh per run
-	arena    []Word   // backing store for all received words; fresh per run
+	// reuse marks a caller-owned batch exec (see Exec in batch.go):
+	// buffers that normally escape into the Result — received, the
+	// arena, blocked counts, queue stats, the deadlock report — are
+	// retained and recycled across runs instead of freshly allocated,
+	// because the batch contract says a Result is only valid until the
+	// next Run on the same Exec. Pooled execs (Machine.Run) keep
+	// reuse false: their Results outlive them.
+	reuse        bool
+	blockedBuf   []int
+	qstatBuf     []QueueStat
+	cellBlockBuf []CellBlock
+
+	received [][]Word // escapes into Result; fresh per run unless reuse
+	arena    []Word   // backing store for all received words; fresh per run unless reuse
 
 	ctx assign.Context // per-run policy context; fields are shared read-only views
 
 	// Sharded-execution state (see parallel.go). workers is the shard
 	// count (1 = single-threaded); recvShard/sendShard map each message
 	// to the shard owning its receiver/sender cell (only filled when
-	// workers > 1); keep flags the transport entries surviving the read
-	// phase's compaction; gang is the run-scoped worker pool (nil when
+	// workers > 1); gang is the run-scoped worker pool (nil when
 	// workers == 1). The fn* fields hold the phase closures, bound once
 	// per exec so dispatch never allocates.
+	// direct (workers == 1) short-circuits the sink machinery: with a
+	// single shard there is no barrier for a deferred effect to cross,
+	// and every sink merge is the identity reordering — the coordinator
+	// is the worker, so each note* site applies its effect in place and
+	// the per-phase merges are skipped. The applied order is exactly
+	// the one-sink merge order (append order), so results stay
+	// byte-identical to sharded execution; the cross-worker-count
+	// equivalence suites enforce this.
+	direct      bool
 	workers     int
 	recvShard   []int32
 	sendShard   []int32
 	sinks       []sink
-	keep        []bool
 	gang        *gang
 	hasInterior bool // any route longer than one hop
 	cancel      <-chan struct{}
@@ -268,7 +299,6 @@ func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int) {
 	e.pc = grow(e.pc, cells)
 	e.issued = grow(e.issued, cells)
 	e.finishedAt = grow(e.finishedAt, cells)
-	e.cellDirty = grow(e.cellDirty, cells)
 	clear(e.pc)
 	clear(e.issued)
 	clear(e.finishedAt)
@@ -277,31 +307,18 @@ func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int) {
 
 	// Every cell and every pool starts "dirty": cycle 0 of the
 	// reference engine scans them all, and so do we — once.
-	e.dirtyCells = grow(e.dirtyCells, cells)
-	for c := 0; c < cells; c++ {
-		e.cellDirty[c] = true
-		e.dirtyCells[c] = c
-	}
-	e.inTransport = grow(e.inTransport, msgs)
+	e.dirty.sizeTo(cells)
+	e.dirty.fill(cells)
 	e.writeReady = grow(e.writeReady, msgs)
-	e.reqFlag = grow(e.reqFlag, msgs)
-	e.movedFlag = grow(e.movedFlag, msgs)
-	clear(e.inTransport)
 	clear(e.writeReady)
-	clear(e.reqFlag)
-	clear(e.movedFlag)
-	e.transport = e.transport[:0]
-	e.writers = e.writers[:0]
-	e.writerScratch = e.writerScratch[:0]
-	e.reqCheck = e.reqCheck[:0]
-	e.movedMsgs = e.movedMsgs[:0]
-	e.poolArmed = grow(e.poolArmed, e.numPools)
-	e.armed = grow(e.armed, e.numPools)
-	for p := 0; p < e.numPools; p++ {
-		e.poolArmed[p] = true
-		e.armed[p] = p
-	}
-	e.armedSpare = e.armedSpare[:0]
+	e.transport.sizeTo(msgs)
+	e.writers.sizeTo(msgs)
+	e.writerSnap.sizeTo(msgs)
+	e.reqSet.sizeTo(msgs)
+	e.movedSet.sizeTo(msgs)
+	e.armed.sizeTo(e.numPools)
+	e.armed.fill(e.numPools)
+	e.armedScratch.sizeTo(e.numPools)
 	e.cooling = e.cooling[:0]
 
 	// Shard layout. The worker count is clamped to the cell count (an
@@ -319,6 +336,7 @@ func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int) {
 		workers = cells
 	}
 	e.workers = workers
+	e.direct = workers == 1
 	e.sinks = grow(e.sinks, workers)
 	for i := range e.sinks {
 		e.sinks[i].reset()
@@ -347,8 +365,16 @@ func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int) {
 		e.fnRelease = e.releaseShard
 	}
 
-	e.received = make([][]Word, msgs)
-	e.arena = make([]Word, m.totalWords)
+	if e.reuse {
+		// Arena contents need no clearing: deliver re-installs each
+		// message's window empty and only appended words are exposed.
+		e.received = grow(e.received, msgs)
+		clear(e.received)
+		e.arena = grow(e.arena, m.totalWords)
+	} else {
+		e.received = make([][]Word, msgs)
+		e.arena = make([]Word, m.totalWords)
+	}
 	e.res = Result{}
 	e.stats = Stats{}
 	e.now = 0
@@ -418,34 +444,28 @@ func (e *exec) hopOn(pool int, msg model.MessageID) int {
 //
 //sysvet:hotpath
 func (e *exec) armPool(p int) {
-	if !e.poolArmed[p] {
-		e.poolArmed[p] = true
-		e.armed = append(e.armed, p)
-	}
+	e.armed.add(p)
 }
 
-// insertMsg inserts id into an ascending message list.
-//
-//sysvet:hotpath
-func insertMsg(list []model.MessageID, id model.MessageID) []model.MessageID {
-	//sysvet:ignore hotalloc -- sort.Search's predicate does not escape, so the closure stays on the stack
-	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
-	list = append(list, 0)
-	copy(list[i+1:], list[i:])
-	list[i] = id
-	return list
-}
-
-// noteTransport records that id now has buffered words. The flag is
-// owned by the calling shard (id's sender); the list insertion is
-// deferred to the merge.
+// noteTransport records that id now has buffered words. Reading the
+// transport set is safe mid-phase (nothing mutates it inside a
+// phase, and the drop pass ran before this phase); the insertion is
+// deferred to the merge. A sender writes at most one word per cycle,
+// so the sink sees each id at most once.
 //
 //sysvet:hotpath
 func (e *exec) noteTransport(id model.MessageID, sk *sink) {
-	if !e.inTransport[id] {
-		e.inTransport[id] = true
-		sk.transport = append(sk.transport, id)
+	if e.transport.has(int(id)) {
+		return
 	}
+	if e.direct {
+		// Safe in place: the write phase is the only caller, and the
+		// transport set's iterations (reads, advances) ran earlier in
+		// the cycle.
+		e.transport.add(int(id))
+		return
+	}
+	sk.transport = append(sk.transport, id)
 }
 
 // noteWriter records that id's sender is parked at W(id) with the
@@ -455,10 +475,18 @@ func (e *exec) noteTransport(id model.MessageID, sk *sink) {
 //
 //sysvet:hotpath
 func (e *exec) noteWriter(id model.MessageID, sk *sink) {
-	if !e.writeReady[id] {
-		e.writeReady[id] = true
-		sk.writers = append(sk.writers, id)
+	if e.writeReady[id] {
+		return
 	}
+	e.writeReady[id] = true
+	if e.direct {
+		// Safe in place: the writer snapshot for this cycle was taken
+		// before any phase that can reach here, so the insertion lands
+		// in next cycle's snapshot exactly as the merged path's would.
+		e.writers.add(int(id))
+		return
+	}
+	sk.writers = append(sk.writers, id)
 }
 
 // noteWriterNow is noteWriter for the coordinator-only grant phase,
@@ -470,35 +498,62 @@ func (e *exec) noteWriter(id model.MessageID, sk *sink) {
 func (e *exec) noteWriterNow(id model.MessageID) {
 	if !e.writeReady[id] {
 		e.writeReady[id] = true
-		e.writers = insertMsg(e.writers, id)
+		e.writers.add(int(id))
 	}
 }
 
 // noteReqCheck records a push into one of id's queues: its next hop
 // may now be requestable. On machines where every route is a single
 // hop there are no interior hops to request, so the set stays empty
-// and the interior phases are skipped outright.
+// and the interior phases are skipped outright. The merge dedups via
+// the bitset; the tail check only folds the back-to-back repeats the
+// interior advance loop produces for one multi-hop message.
 //
 //sysvet:hotpath
 func (e *exec) noteReqCheck(id model.MessageID, sk *sink) {
 	if !e.hasInterior {
 		return
 	}
-	if !e.reqFlag[id] {
-		e.reqFlag[id] = true
-		sk.reqCheck = append(sk.reqCheck, id)
+	if e.direct {
+		e.reqSet.add(int(id)) // idempotent; no dedup needed
+		return
 	}
+	if n := len(sk.reqCheck); n > 0 && sk.reqCheck[n-1] == id {
+		return
+	}
+	sk.reqCheck = append(sk.reqCheck, id)
 }
 
 // noteMoved records a departure event: one of id's queues may now be
-// releasable.
+// releasable. Dedup happens at the bitset merge, with the same tail
+// check as noteReqCheck for intra-message repeats.
 //
 //sysvet:hotpath
 func (e *exec) noteMoved(id model.MessageID, sk *sink) {
-	if !e.movedFlag[id] {
-		e.movedFlag[id] = true
-		sk.moved = append(sk.moved, id)
+	if e.direct {
+		e.movedSet.add(int(id)) // idempotent; no dedup needed
+		return
 	}
+	if n := len(sk.moved); n > 0 && sk.moved[n-1] == id {
+		return
+	}
+	sk.moved = append(sk.moved, id)
+}
+
+// noteEvent records per-cycle progress: the cycle saw an event (so the
+// run is not deadlocked) and words hop traversals. Direct mode folds
+// both straight into coordinator state; otherwise the shard sink
+// accumulates and mergeSinks folds.
+//
+//sysvet:hotpath
+func (e *exec) noteEvent(sk *sink, words int) {
+	if e.direct {
+		e.moved = true
+		e.stats.WordsMoved += words
+		return
+	}
+	sk.anyEvent = true
+	sk.wordsMoved += words
 }
 
 // noteCooling registers a queue whose Pop may have armed an
@@ -508,19 +563,26 @@ func (e *exec) noteMoved(id model.MessageID, sk *sink) {
 func (e *exec) noteCooling(qi *queueInst, sk *sink) {
 	if !qi.cooling && qi.q.Cooling() {
 		qi.cooling = true
+		if e.direct {
+			e.cooling = append(e.cooling, qi.slot)
+			return
+		}
 		sk.cooling = append(sk.cooling, qi.slot)
 	}
 }
 
-// markCellDirty flags a cell whose pc advanced. The flag is owned by
-// the calling shard (c is one of its cells).
+// markCellDirty records a cell whose pc advanced. A cell issues at
+// most once per cycle (the issued flag guards every advancePC call
+// site), so the sink sees each cell at most once and the bitset
+// merge needs no worker-side flag.
 //
 //sysvet:hotpath
 func (e *exec) markCellDirty(c int, sk *sink) {
-	if !e.cellDirty[c] {
-		e.cellDirty[c] = true
-		sk.dirty = append(sk.dirty, c)
+	if e.direct {
+		e.dirty.add(c) // next collect reads it; this cycle's already ran
+		return
 	}
+	sk.dirty = append(sk.dirty, c)
 }
 
 // advancePC issues cell c's front op: one op per cell per cycle. When
@@ -533,10 +595,18 @@ func (e *exec) markCellDirty(c int, sk *sink) {
 func (e *exec) advancePC(c int, sk *sink) {
 	e.pc[c]++
 	e.issued[c] = true
-	sk.issued = append(sk.issued, c)
+	if e.direct {
+		e.issuedList = append(e.issuedList, c)
+	} else {
+		sk.issued = append(sk.issued, c)
+	}
 	if e.pc[c] >= len(e.m.code(c)) {
 		e.finishedAt[c] = e.now
-		sk.remainingDelta--
+		if e.direct {
+			e.remaining--
+		} else {
+			sk.remainingDelta--
+		}
 		return
 	}
 	e.markCellDirty(c, sk)
@@ -626,36 +696,57 @@ func (e *exec) anyCooling() bool {
 // its header is buffered at the cell feeding that hop (§5). First-hop
 // checks run over dirty cells in cell order, then interior checks
 // over live messages in message order — the same relative append
-// order the reference full scan produces. Both sub-phases chunk their
-// sorted list by position; the shard-order merge restores the full
-// sorted append order for any worker count.
+// order the reference full scan produces. Both sub-phases split the
+// key space into contiguous id ranges, one per shard; bitset
+// iteration is ascending within a range, so the shard-order merge
+// restores the full ascending append order for any worker count.
 //
 //sysvet:hotpath
 func (e *exec) collectRequests() {
-	slices.Sort(e.dirtyCells)
-	e.fanout(len(e.dirtyCells), e.fnFirstHop)
-	e.mergeSinks()
-	e.dirtyCells = e.dirtyCells[:0]
+	e.fanout(e.dirty.len(), e.fnFirstHop)
+	if !e.direct {
+		e.mergeCollect()
+	}
+	e.dirty.clearAll()
 
 	if e.hasInterior {
-		slices.Sort(e.reqCheck)
-		e.fanout(len(e.reqCheck), e.fnInterior)
-		e.mergeSinks()
-		e.reqCheck = e.reqCheck[:0]
+		e.fanout(e.reqSet.len(), e.fnInterior)
+		if !e.direct {
+			e.mergeCollect()
+		}
+		e.reqSet.clearAll()
 	}
 }
 
-// collectFirstHopShard checks shard s's chunk of the dirty cells for
-// senders parked at an unrequested W. Every touched flag (cellDirty,
-// requested[0]) belongs to the chunk's own cells and messages — a
-// message's first-hop request can only come from its one sender.
+// mergeCollect drains the collect shards' sinks, which only ever
+// carry pending requests; the requested pool arms as a consequence of
+// the request itself. A dedicated merge spares the collect phases —
+// two of the cycle's barriers — the full 11-field sink sweep.
+//
+//sysvet:hotpath
+func (e *exec) mergeCollect() {
+	for s := range e.sinks {
+		sk := &e.sinks[s]
+		for _, pr := range sk.pending {
+			e.pending[pr.pool] = append(e.pending[pr.pool], pr.msg)
+			e.armed.add(pr.pool)
+		}
+		sk.pending = sk.pending[:0]
+	}
+}
+
+// collectFirstHopShard checks shard s's id range of the dirty set for
+// senders parked at an unrequested W. Every touched flag
+// (requested[0]) belongs to the range's own messages — a message's
+// first-hop request can only come from its one sender. The set
+// itself is read-only here; the coordinator clears it wholesale once
+// every shard has consumed its range.
 //
 //sysvet:hotpath
 func (e *exec) collectFirstHopShard(s int) {
 	sk := &e.sinks[s]
-	lo, hi := chunk(len(e.dirtyCells), e.workers, s)
-	for _, c := range e.dirtyCells[lo:hi] {
-		e.cellDirty[c] = false
+	lo, hi := chunk(len(e.pc), e.workers, s)
+	for c := e.dirty.next(lo); c >= 0 && c < hi; c = e.dirty.next(c + 1) {
 		code := e.m.code(c)
 		if e.pc[c] >= len(code) {
 			continue
@@ -668,13 +759,17 @@ func (e *exec) collectFirstHopShard(s int) {
 		if len(ms.queues) > 0 && !ms.requested[0] {
 			ms.requested[0] = true
 			pool := e.poolOf(op.Msg, 0)
-			sk.pending = append(sk.pending, pendReq{pool: pool, msg: op.Msg})
-			sk.armed = append(sk.armed, pool)
+			if e.direct {
+				e.pending[pool] = append(e.pending[pool], op.Msg)
+				e.armed.add(pool)
+			} else {
+				sk.pending = append(sk.pending, pendReq{pool: pool, msg: op.Msg})
+			}
 		}
 	}
 }
 
-// collectInteriorShard checks shard s's chunk of the reqCheck set:
+// collectInteriorShard checks shard s's id range of the reqSet:
 // only messages pushed into since the last collect can have a newly
 // non-empty queue; requested flags make re-checks of older non-empty
 // queues no-ops, so this subset in ascending order appends to the
@@ -683,9 +778,8 @@ func (e *exec) collectFirstHopShard(s int) {
 //sysvet:hotpath
 func (e *exec) collectInteriorShard(s int) {
 	sk := &e.sinks[s]
-	lo, hi := chunk(len(e.reqCheck), e.workers, s)
-	for _, id := range e.reqCheck[lo:hi] {
-		e.reqFlag[id] = false
+	lo, hi := chunk(len(e.msgs), e.workers, s)
+	for id := e.reqSet.next(lo); id >= 0 && id < hi; id = e.reqSet.next(id + 1) {
 		ms := &e.msgs[id]
 		for hop := 1; hop < len(ms.queues); hop++ {
 			if ms.requested[hop] || ms.queues[hop-1] == nil {
@@ -693,9 +787,13 @@ func (e *exec) collectInteriorShard(s int) {
 			}
 			if ms.queues[hop-1].q.Len() > 0 {
 				ms.requested[hop] = true
-				pool := e.poolOf(id, hop)
-				sk.pending = append(sk.pending, pendReq{pool: pool, msg: id})
-				sk.armed = append(sk.armed, pool)
+				pool := e.poolOf(model.MessageID(id), hop)
+				if e.direct {
+					e.pending[pool] = append(e.pending[pool], model.MessageID(id))
+					e.armed.add(pool)
+				} else {
+					sk.pending = append(sk.pending, pendReq{pool: pool, msg: model.MessageID(id)})
+				}
 			}
 		}
 	}
@@ -710,11 +808,12 @@ func (e *exec) collectInteriorShard(s int) {
 //
 //sysvet:hotpath
 func (e *exec) grantPhase() {
-	cur := e.armed
-	e.armed = e.armedSpare[:0]
-	slices.Sort(cur)
-	for _, pid := range cur {
-		e.poolArmed[pid] = false
+	// Swap the armed set with the (empty) scratch set: pools re-armed
+	// while granting — by armPool below or a shard sink next phase —
+	// land in the fresh set and are visited next grantPhase, never
+	// the one being iterated.
+	e.armed, e.armedScratch = e.armedScratch, e.armed
+	for pid := e.armedScratch.next(0); pid >= 0; pid = e.armedScratch.next(pid + 1) {
 		pool := e.pool(pid)
 		free := 0
 		for i := range pool {
@@ -768,7 +867,7 @@ func (e *exec) grantPhase() {
 			}
 		}
 	}
-	e.armedSpare = cur[:0]
+	e.armedScratch.clearAll()
 }
 
 //sysvet:hotpath
@@ -805,38 +904,35 @@ func (e *exec) cellAndTransferPhase() {
 	// Snapshot (and compact) the writer set up front: entries added
 	// mid-cycle belong to cells that have already issued, so deferring
 	// them to the next cycle is exactly what the issued-flag check in
-	// the full-scan engine did.
-	cur := e.writerScratch[:0]
-	w := 0
-	for _, id := range e.writers {
-		if e.writeReady[id] {
-			e.writers[w] = id
-			w++
-			cur = append(cur, id)
+	// the full-scan engine did. Entries whose writeReady flag was
+	// cleared by a write shard last cycle are dropped here, on the
+	// coordinator — the one place the writers bitset may be mutated.
+	for id := e.writers.next(0); id >= 0; id = e.writers.next(id + 1) {
+		if !e.writeReady[id] {
+			e.writers.drop(id)
 		}
 	}
-	e.writers = e.writers[:w]
-	e.writerScratch = cur
+	e.writerSnap.copyFrom(&e.writers)
 
 	// 1. Receiver reads from buffered last-hop queues, sharded by
-	// receiver cell. Workers flag the surviving entries; the
-	// coordinator compacts afterwards, preserving ascending order.
-	e.keep = grow(e.keep, len(e.transport))
-	clear(e.keep)
-	e.fanout(len(e.transport), e.fnReads)
-	wt := 0
-	for i, id := range e.transport {
-		if e.keep[i] {
-			e.transport[wt] = id
-			wt++
+	// receiver cell. Workers flag drained entries in their drop
+	// sinks; the coordinator removes them afterwards, before the
+	// advance phase iterates the set.
+	e.fanout(e.transport.len(), e.fnReads)
+	if !e.direct {
+		for s := range e.sinks {
+			sk := &e.sinks[s]
+			for _, id := range sk.drops {
+				e.transport.drop(int(id))
+			}
+			sk.drops = sk.drops[:0]
 		}
 	}
-	e.transport = e.transport[:wt]
 
 	// 2. Interior advances, last hop toward receiver first. Single-hop
 	// machines have no interior queues to advance.
 	if e.hasInterior {
-		e.fanout(len(e.transport), e.fnAdvances)
+		e.fanout(e.transport.len(), e.fnAdvances)
 	}
 
 	// 3. Capacity-0 rendezvous: single-hop messages hand a word
@@ -847,32 +943,38 @@ func (e *exec) cellAndTransferPhase() {
 	}
 
 	// 4. Sender writes into first-hop queues, sharded by sender cell.
-	e.fanout(len(e.writerScratch), e.fnWrites)
+	e.fanout(e.writerSnap.len(), e.fnWrites)
 
-	e.mergeSinks()
+	if !e.direct {
+		e.mergeSinks()
+	}
 }
 
 // readShard serves receiver reads for the transport entries shard s
 // owns (messages whose receiver cell is in s's range). Only messages
-// with buffered words can serve a read; stale transport entries
-// (fully drained) are marked for compaction here.
+// with buffered words can serve a read; fully drained entries are
+// flagged for removal via the drop sink (only the coordinator may
+// mutate the set).
 //
 //sysvet:hotpath
 func (e *exec) readShard(s int) {
 	sk := &e.sinks[s]
-	for i, id := range e.transport {
+	for i := e.transport.next(0); i >= 0; i = e.transport.next(i + 1) {
+		id := model.MessageID(i)
 		if !e.owns(s, e.recvShard, id) {
 			continue
 		}
-		if !e.inTransport[id] {
-			continue // stale: keep[i] stays false
-		}
 		ms := &e.msgs[id]
 		if ms.written == ms.read {
-			e.inTransport[id] = false
+			if e.direct {
+				// Dropping the current member mid-iteration is safe,
+				// and every later sub-phase must see the post-drop set.
+				e.transport.drop(i)
+			} else {
+				sk.drops = append(sk.drops, id)
+			}
 			continue
 		}
-		e.keep[i] = true
 		last := len(ms.queues) - 1
 		if last < 0 || ms.queues[last] == nil {
 			continue
@@ -899,20 +1001,20 @@ func (e *exec) readShard(s int) {
 		ms.departed[last]++
 		e.noteMoved(id, sk)
 		e.advancePC(c, sk)
-		sk.anyEvent = true
-		sk.wordsMoved++
+		e.noteEvent(sk, 1)
 	}
 }
 
-// advanceShard moves words between interior queues for shard s's
-// position chunk of the transport set. Every touched queue is bound
-// to the chunk's own message, so chunks never contend.
+// advanceShard moves words between interior queues for shard s's id
+// range of the transport set. Every touched queue is bound to the
+// range's own message, so shards never contend.
 //
 //sysvet:hotpath
 func (e *exec) advanceShard(s int) {
 	sk := &e.sinks[s]
-	lo, hi := chunk(len(e.transport), e.workers, s)
-	for _, id := range e.transport[lo:hi] {
+	lo, hi := chunk(len(e.msgs), e.workers, s)
+	for i := e.transport.next(lo); i >= 0 && i < hi; i = e.transport.next(i + 1) {
+		id := model.MessageID(i)
 		ms := &e.msgs[id]
 		for hop := len(ms.queues) - 2; hop >= 0; hop-- {
 			src, dst := ms.queues[hop], ms.queues[hop+1]
@@ -925,8 +1027,7 @@ func (e *exec) advanceShard(s int) {
 				ms.departed[hop]++
 				e.noteMoved(id, sk)
 				e.noteReqCheck(id, sk)
-				sk.anyEvent = true
-				sk.wordsMoved++
+				e.noteEvent(sk, 1)
 			}
 		}
 	}
@@ -939,7 +1040,8 @@ func (e *exec) advanceShard(s int) {
 //sysvet:hotpath
 func (e *exec) writeShard(s int) {
 	sk := &e.sinks[s]
-	for _, id := range e.writerScratch {
+	for i := e.writerSnap.next(0); i >= 0; i = e.writerSnap.next(i + 1) {
+		id := model.MessageID(i)
 		if !e.owns(s, e.sendShard, id) {
 			continue
 		}
@@ -975,7 +1077,7 @@ func (e *exec) writeShard(s int) {
 		e.noteTransport(id, sk)
 		e.noteReqCheck(id, sk)
 		e.advancePC(c, sk)
-		sk.anyEvent = true
+		e.noteEvent(sk, 0)
 	}
 }
 
@@ -988,7 +1090,8 @@ func (e *exec) rendezvous(sk *sink) {
 	// A rendezvous needs the sender parked at W(id) over a bound
 	// latch — precisely the writer set (capacity 0 admits only
 	// single-hop routes, so every entry here is a latch candidate).
-	for _, id := range e.writerScratch {
+	for i := e.writerSnap.next(0); i >= 0; i = e.writerSnap.next(i + 1) {
+		id := model.MessageID(i)
 		if !e.writeReady[id] {
 			continue
 		}
@@ -1020,28 +1123,28 @@ func (e *exec) rendezvous(sk *sink) {
 		e.noteMoved(id, sk)
 		e.advancePC(sc, sk)
 		e.advancePC(rc, sk)
-		sk.anyEvent = true
-		sk.wordsMoved++
+		e.noteEvent(sk, 1)
 	}
 }
 
 // releasePhase frees queues whose message has fully passed (§2.3: a
 // queue may be reassigned only after the current message's last word
 // has passed it) and retires messages with nothing left bound. The
-// moved set is sorted, chunked by position, and merged in shard
+// moved set is chunked by message-id range and merged in shard
 // order, so release-side timeline events keep their ascending-message
 // order for any worker count.
 //
 //sysvet:hotpath
 func (e *exec) releasePhase() {
-	slices.Sort(e.movedMsgs)
-	e.fanout(len(e.movedMsgs), e.fnRelease)
-	e.mergeSinks()
-	e.movedMsgs = e.movedMsgs[:0]
+	e.fanout(e.movedSet.len(), e.fnRelease)
+	if !e.direct {
+		e.mergeRelease()
+	}
+	e.movedSet.clearAll()
 }
 
-// releaseShard frees the releasable queues of shard s's chunk of the
-// moved set. A queue becomes releasable exactly on the cycle its
+// releaseShard frees the releasable queues of shard s's id range of
+// the moved set. A queue becomes releasable exactly on the cycle its
 // message's last word departs it (the queue is empty at that same
 // instant), so the messages with departure events this cycle are the
 // only release candidates.
@@ -1049,9 +1152,9 @@ func (e *exec) releasePhase() {
 //sysvet:hotpath
 func (e *exec) releaseShard(s int) {
 	sk := &e.sinks[s]
-	lo, hi := chunk(len(e.movedMsgs), e.workers, s)
-	for _, id := range e.movedMsgs[lo:hi] {
-		e.movedFlag[id] = false
+	lo, hi := chunk(len(e.msgs), e.workers, s)
+	for i := e.movedSet.next(lo); i >= 0 && i < hi; i = e.movedSet.next(i + 1) {
+		id := model.MessageID(i)
 		ms := &e.msgs[id]
 		words := e.m.words[id]
 		for hop := range ms.queues {
@@ -1063,6 +1166,16 @@ func (e *exec) releaseShard(s int) {
 				qi.bound = false
 				qi.q.Reset()
 				ms.queues[hop] = nil // keep granted=true: the message had its turn
+				if e.direct {
+					// armed is consumed by next cycle's grantPhase, never
+					// read during this scan, so in-place arming is safe.
+					e.stats.Releases++
+					e.armed.add(e.poolOf(id, hop))
+					if e.recordTimeline {
+						e.res.Timeline = append(e.res.Timeline, BindEvent{Cycle: e.now, Link: qi.link, QueueIdx: qi.idx, Msg: id, Bound: false})
+					}
+					continue
+				}
 				sk.releases++
 				sk.armed = append(sk.armed, e.poolOf(id, hop))
 				if e.recordTimeline {
@@ -1092,7 +1205,14 @@ func (e *exec) result() Result {
 		accounted++
 	}
 	cells := e.m.prog.NumCells()
-	blocked := make([]int, cells)
+	var blocked []int
+	if e.reuse {
+		e.blockedBuf = grow(e.blockedBuf, cells)
+		blocked = e.blockedBuf
+		clear(blocked)
+	} else {
+		blocked = make([]int, cells)
+	}
 	for c := 0; c < cells; c++ {
 		n := len(e.m.code(c))
 		if n == 0 {
@@ -1109,20 +1229,32 @@ func (e *exec) result() Result {
 	}
 	e.stats.BlockedCycles = blocked
 	e.stats.Cycles = e.now
-	e.stats.Queues = make([]QueueStat, 0, len(e.queues))
+	var qs []QueueStat
+	if e.reuse && e.qstatBuf != nil {
+		qs = e.qstatBuf[:0]
+	} else {
+		qs = make([]QueueStat, 0, len(e.queues))
+	}
 	for i := range e.queues {
 		qi := &e.queues[i]
 		// qi.link is the real link, not the pool id: under
 		// DirectionalPools a link's two pools report under the same
 		// physical link, matching the timeline's attribution.
-		e.stats.Queues = append(e.stats.Queues, QueueStat{Link: qi.link, QueueIdx: qi.idx, Stats: qi.q.Stats()})
+		qs = append(qs, QueueStat{Link: qi.link, QueueIdx: qi.idx, Stats: qi.q.Stats()})
 	}
+	if e.reuse {
+		e.qstatBuf = qs
+	}
+	e.stats.Queues = qs
 	e.res.Stats = e.stats
 	return e.res
 }
 
 func (e *exec) blockedReport() []CellBlock {
 	var out []CellBlock
+	if e.reuse {
+		out = e.cellBlockBuf[:0]
+	}
 	for c := 0; c < e.m.prog.NumCells(); c++ {
 		cell := model.CellID(c)
 		code := e.m.code(c)
@@ -1132,21 +1264,28 @@ func (e *exec) blockedReport() []CellBlock {
 		op := code[e.pc[c]]
 		out = append(out, CellBlock{Cell: cell, Op: op, OpIdx: e.pc[c], Reason: e.blockReason(op)})
 	}
+	if e.reuse {
+		e.cellBlockBuf = out
+	}
 	return out
 }
 
+// blockReason renders one cell's stall cause. Plain concatenation
+// rather than fmt: deadlocked sweep points hit this for every stuck
+// cell, and Sprintf was a visible slice of their profile. The bytes
+// are unchanged.
 func (e *exec) blockReason(op model.Op) string {
 	ms := &e.msgs[op.Msg]
 	name := e.m.prog.Message(op.Msg).Name
 	if op.Kind == model.Write {
 		if len(ms.queues) > 0 && !ms.granted[0] {
-			return fmt.Sprintf("no queue bound for %s on its first link", name)
+			return "no queue bound for " + name + " on its first link"
 		}
-		return fmt.Sprintf("queue for %s is full (capacity %d) and the downstream never drains", name, e.capacity)
+		return "queue for " + name + " is full (capacity " + strconv.Itoa(e.capacity) + ") and the downstream never drains"
 	}
 	last := len(ms.queues) - 1
 	if last >= 0 && !ms.granted[last] {
-		return fmt.Sprintf("no queue bound for %s on its last link", name)
+		return "no queue bound for " + name + " on its last link"
 	}
-	return fmt.Sprintf("no word of %s has arrived", name)
+	return "no word of " + name + " has arrived"
 }

@@ -431,60 +431,61 @@ func (m *Machine) Reset() {
 	m.execs.Store(&sync.Pool{New: func() any { return new(exec) }})
 }
 
-// Run simulates the compiled program to completion, deadlock, or the
-// cycle bound under one configuration. It returns an error only for
-// configuration problems; run-time deadlock is a Result, not an
-// error. Run is safe for concurrent use.
-func (m *Machine) Run(opts ExecOptions) (*Result, error) {
+// prepare validates opts, applies defaults (Logic, MaxCycles), and
+// resolves the pool regime. It is the shared front half of Run and
+// Exec.Run, so both reject configurations with identical errors.
+func (m *Machine) prepare(opts *ExecOptions) (maxCycles int, tbl *poolTable, flavor int, err error) {
 	if opts.Policy == nil {
-		return nil, &ConfigError{Field: "Policy", Reason: "nil policy"}
+		return 0, nil, 0, &ConfigError{Field: "Policy", Reason: "nil policy"}
 	}
 	if opts.QueuesPerLink < 1 {
-		return nil, &ConfigError{Field: "QueuesPerLink", Reason: fmt.Sprintf("%d < 1 (every link needs at least one queue, §2.3)", opts.QueuesPerLink)}
+		return 0, nil, 0, &ConfigError{Field: "QueuesPerLink", Reason: fmt.Sprintf("%d < 1 (every link needs at least one queue, §2.3)", opts.QueuesPerLink)}
 	}
 	if opts.Capacity < 0 {
-		return nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", opts.Capacity)}
+		return 0, nil, 0, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", opts.Capacity)}
 	}
 	if opts.ExtCapacity < 0 {
-		return nil, &ConfigError{Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", opts.ExtCapacity)}
+		return 0, nil, 0, &ConfigError{Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", opts.ExtCapacity)}
 	}
 	if opts.ExtPenalty < 0 {
-		return nil, &ConfigError{Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", opts.ExtPenalty)}
+		return 0, nil, 0, &ConfigError{Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", opts.ExtPenalty)}
 	}
 	if opts.Workers < 0 {
-		return nil, &ConfigError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
+		return 0, nil, 0, &ConfigError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
 	}
 	if opts.Capacity == 0 {
 		if m.multiHopMsg >= 0 {
-			return nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf(
+			return 0, nil, 0, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf(
 				"capacity 0 (latch) supports single-hop routes only; message %s crosses %d links",
 				m.prog.Message(m.multiHopMsg).Name, len(m.routes[m.multiHopMsg]))}
 		}
 		if opts.ExtCapacity > 0 {
-			return nil, &ConfigError{Field: "ExtCapacity", Reason: "queue extension requires base capacity ≥ 1"}
+			return 0, nil, 0, &ConfigError{Field: "ExtCapacity", Reason: "queue extension requires base capacity ≥ 1"}
 		}
 	}
 	if opts.Logic == nil {
 		opts.Logic = SyntheticLogic{}
 	}
-	maxCycles := opts.MaxCycles
+	maxCycles = opts.MaxCycles
 	if maxCycles <= 0 {
-		var err error
 		maxCycles, err = maxCyclesFor(m.totalWords, m.totalHops)
 		if err != nil {
-			return nil, err
+			return 0, nil, 0, err
 		}
 	}
-
-	tbl := &m.shared
-	flavor := 0
+	tbl = &m.shared
 	if opts.DirectionalPools {
 		tbl = &m.directional
 		flavor = 1
 	}
-	pool := m.execs.Load()
-	e := pool.Get().(*exec)
-	e.init(m, &opts, tbl, flavor)
+	return maxCycles, tbl, flavor, nil
+}
+
+// runExec drives one prepared run on e: init, policy setup, the
+// scheduler loop. On success the caller harvests e.result(); on error
+// e holds no live gang and can be released or reused.
+func (m *Machine) runExec(e *exec, opts *ExecOptions, tbl *poolTable, flavor, maxCycles int) error {
+	e.init(m, opts, tbl, flavor)
 	e.ctx = assign.Context{
 		Program:         m.prog,
 		Routes:          m.routes,
@@ -496,13 +497,27 @@ func (m *Machine) Run(opts ExecOptions) (*Result, error) {
 		QueuesPerLink:   opts.QueuesPerLink,
 	}
 	if err := opts.Policy.Setup(&e.ctx); err != nil {
-		e.release()
-		pool.Put(e)
-		return nil, err
+		return err
 	}
 	e.run(maxCycles)
 	if e.cancelled {
-		err := fmt.Errorf("machine: run cancelled after %d cycles: %w", e.now, context.Cause(opts.Context))
+		return fmt.Errorf("machine: run cancelled after %d cycles: %w", e.now, context.Cause(opts.Context))
+	}
+	return nil
+}
+
+// Run simulates the compiled program to completion, deadlock, or the
+// cycle bound under one configuration. It returns an error only for
+// configuration problems; run-time deadlock is a Result, not an
+// error. Run is safe for concurrent use.
+func (m *Machine) Run(opts ExecOptions) (*Result, error) {
+	maxCycles, tbl, flavor, err := m.prepare(&opts)
+	if err != nil {
+		return nil, err
+	}
+	pool := m.execs.Load()
+	e := pool.Get().(*exec)
+	if err := m.runExec(e, &opts, tbl, flavor, maxCycles); err != nil {
 		e.release()
 		pool.Put(e)
 		return nil, err
@@ -514,8 +529,48 @@ func (m *Machine) Run(opts ExecOptions) (*Result, error) {
 	return out, nil
 }
 
-// RunParallel is Run with Workers defaulted to runtime.GOMAXPROCS(0)
-// when unset: the whole-machine entry point for callers that want
+// Measured crossover for AutoWorkers, from the committed
+// BENCH_parallel.json trajectory on the CI-class host (numbers are
+// ns/op for machine.Run; workers=4 measured with GOMAXPROCS ≥ 4):
+//
+//	workload          cells  workers=1   workers=4   verdict
+//	wide-linear-1024   1024   65.7 ms     91.6 ms    sharding loses
+//	mesh-32x32         1024    2.2 ms      3.2 ms    sharding loses
+//
+// Both workloads keep essentially every cell active each cycle —
+// the best case for sharding — and still lose at 1024 cells: six
+// phase barriers per cycle (a channel handoff per worker each way)
+// outweigh the per-shard work until the ready sets are several
+// thousand entries deep. autoWorkersMinCells therefore sits at 4x
+// the measured losing size, and autoWorkersCellsPerShard keeps each
+// shard at least ~2048 cells so added workers arrive with enough
+// work to amortize their barrier share.
+const (
+	autoWorkersMinCells      = 4096
+	autoWorkersCellsPerShard = 2048
+)
+
+// AutoWorkers returns the shard count RunParallel uses when
+// ExecOptions.Workers is 0: single-threaded unless the machine is
+// large enough for sharding to pay for its barriers (see the
+// measured table above), then roughly one worker per
+// autoWorkersCellsPerShard active-code cells, capped at
+// runtime.GOMAXPROCS(0). Every choice produces byte-identical
+// Results, so the heuristic only moves wall-clock time.
+func (m *Machine) AutoWorkers() int {
+	procs := runtime.GOMAXPROCS(0)
+	if procs <= 1 || m.codeCells < autoWorkersMinCells {
+		return 1
+	}
+	w := m.codeCells / autoWorkersCellsPerShard
+	if w > procs {
+		w = procs
+	}
+	return w
+}
+
+// RunParallel is Run with Workers defaulted to AutoWorkers when
+// unset: the whole-machine entry point for callers that want
 // intra-run parallelism without choosing a shard count. Like every
 // worker count, its Result is byte-identical to the single-threaded
 // run — the equivalence suite in internal/sim replays the fuzz corpus
@@ -523,7 +578,7 @@ func (m *Machine) Run(opts ExecOptions) (*Result, error) {
 // exactly that.
 func (m *Machine) RunParallel(opts ExecOptions) (*Result, error) {
 	if opts.Workers == 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
+		opts.Workers = m.AutoWorkers()
 	}
 	return m.Run(opts)
 }

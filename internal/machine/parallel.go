@@ -9,8 +9,10 @@ package machine
 //
 //   - Work is partitioned into shards. Phases whose per-entry effects
 //     are entirely message-local (queue requests, interior advances,
-//     queue releases) split their sorted work list into contiguous
-//     position chunks, one per shard. Phases where entries can contend
+//     queue releases) split their ready set's key space into
+//     contiguous id ranges, one per shard; bitset iteration is
+//     ascending within a range, so range concatenation in shard order
+//     is the full ascending scan. Phases where entries can contend
 //     on a cell — receiver reads and sender writes both race for the
 //     cell's one-op-per-cycle issue slot — are sharded by cell
 //     ownership instead: shard s owns the contiguous cell range
@@ -26,11 +28,14 @@ package machine
 //     lists, the armed-pool list, the transport/writer/moved/reqCheck
 //     sets, timeline events, counters — is appended to the shard's
 //     private sink and merged by the coordinator after the phase's
-//     barrier, always in ascending shard order. Position chunks of a
-//     sorted list concatenate back to the full sorted order, so the
-//     merged effect sequence is independent of the worker count; the
-//     order-insensitive sets are re-sorted at their consumption site
-//     (a PR 3 invariant this design inherits).
+//     barrier, always in ascending shard order. Id-range chunks
+//     concatenate back to the full ascending order, so the merged
+//     effect sequence is independent of the worker count; the
+//     order-insensitive sets are bitsets, whose iteration order is
+//     ascending no matter what order members were merged in. The
+//     bitsets themselves are never touched by workers mid-phase —
+//     bits within one word are not independent memory locations —
+//     which is exactly why membership changes ride the sinks.
 //
 //   - Phase barriers. A cycle's phases run strictly in sequence —
 //     cooldown tick, request collection, pool arbitration, reads,
@@ -42,9 +47,15 @@ package machine
 //     order (see assign.Policy).
 //
 // Single-threaded execution is the 1-shard special case of the same
-// code path, so Workers=1 is not a separate implementation that could
-// drift — and the reference full-scan engine in internal/sim remains
-// the independent oracle for all of it.
+// phase structure, with one deliberate shortcut: in direct mode
+// (workers == 1, see exec.direct) each note*/shard site applies its
+// effect to the canonical structure in place and the merges are
+// skipped entirely. The applied order equals the single-sink merge
+// order, so the shortcut is invisible in the Result; the per-effect
+// branches are two lines each, the cross-worker-count equivalence
+// suites pin Workers=1 against Workers=N byte-for-byte, and the
+// reference full-scan engine in internal/sim remains the independent
+// oracle for all of it.
 
 import "systolic/internal/model"
 
@@ -78,6 +89,10 @@ func shardOf(c, n, w int) int {
 //
 //sysvet:hotpath
 func chunk(n, w, s int) (lo, hi int) {
+	if w == 1 {
+		// Direct mode's shape; skip the divisions, they show in sweeps.
+		return 0, n
+	}
 	return s * n / w, (s + 1) * n / w
 }
 
@@ -100,10 +115,17 @@ type sink struct {
 	writers   []model.MessageID
 	reqCheck  []model.MessageID
 	moved     []model.MessageID
-	cooling   []int
-	issued    []int
-	dirty     []int
-	timeline  []BindEvent
+	// drops holds transport entries a read shard found fully drained;
+	// the coordinator removes them from the transport bitset right
+	// after the read barrier (not in mergeSinks — the write phase of
+	// the same cycle must observe the post-drop set so a re-buffered
+	// message is re-added, exactly as the old keep-flag compaction
+	// ordered things).
+	drops    []model.MessageID
+	cooling  []int
+	issued   []int
+	dirty    []int
+	timeline []BindEvent
 
 	remainingDelta int
 	wordsMoved     int
@@ -121,6 +143,7 @@ func (sk *sink) reset() {
 	sk.writers = sk.writers[:0]
 	sk.reqCheck = sk.reqCheck[:0]
 	sk.moved = sk.moved[:0]
+	sk.drops = sk.drops[:0]
 	sk.cooling = sk.cooling[:0]
 	sk.issued = sk.issued[:0]
 	sk.dirty = sk.dirty[:0]
@@ -209,6 +232,10 @@ func (e *exec) fanout(n int, fn func(int)) {
 	if n == 0 {
 		return
 	}
+	if e.direct {
+		fn(0)
+		return
+	}
 	if e.workers > 1 && n >= parallelGrain {
 		if e.gang == nil {
 			e.gang = newGang(e.workers)
@@ -222,45 +249,63 @@ func (e *exec) fanout(n int, fn func(int)) {
 }
 
 // mergeSinks drains every shard's sink in ascending shard order into
-// the canonical structures. Pending requests and timeline events are
-// order-sensitive and inherit the shard-order concatenation; the
-// message sets are either kept sorted by insertion (transport,
-// writers) or sorted at their consumption site (reqCheck, moved,
-// dirty, armed), so their merge order cannot be observed.
+// the canonical structures. It is the cell-and-transfer phase's merge:
+// the read/advance/write/rendezvous shards populate exactly the fields
+// drained here (collect and release phases have their own slimmer
+// merges, mergeCollect and mergeRelease). The message, cell, and pool
+// sets are bitsets, so merge order cannot be observed — iteration at
+// the consumption site is ascending by construction, and duplicate
+// notes collapse in add.
 //
 //sysvet:hotpath
 func (e *exec) mergeSinks() {
 	for s := range e.sinks {
 		sk := &e.sinks[s]
-		for _, pr := range sk.pending {
-			e.pending[pr.pool] = append(e.pending[pr.pool], pr.msg)
-		}
-		for _, p := range sk.armed {
-			if !e.poolArmed[p] {
-				e.poolArmed[p] = true
-				e.armed = append(e.armed, p)
-			}
-		}
 		for _, id := range sk.transport {
-			e.transport = insertMsg(e.transport, id)
+			e.transport.add(int(id))
 		}
 		for _, id := range sk.writers {
-			e.writers = insertMsg(e.writers, id)
+			e.writers.add(int(id))
 		}
-		e.reqCheck = append(e.reqCheck, sk.reqCheck...)
-		e.movedMsgs = append(e.movedMsgs, sk.moved...)
+		for _, id := range sk.reqCheck {
+			e.reqSet.add(int(id))
+		}
+		for _, id := range sk.moved {
+			e.movedSet.add(int(id))
+		}
 		e.cooling = append(e.cooling, sk.cooling...)
 		e.issuedList = append(e.issuedList, sk.issued...)
-		e.dirtyCells = append(e.dirtyCells, sk.dirty...)
-		if len(sk.timeline) > 0 {
-			e.res.Timeline = append(e.res.Timeline, sk.timeline...)
+		for _, c := range sk.dirty {
+			e.dirty.add(c)
 		}
 		e.remaining += sk.remainingDelta
 		e.stats.WordsMoved += sk.wordsMoved
-		e.stats.Releases += sk.releases
 		if sk.anyEvent {
 			e.moved = true
 		}
 		sk.reset()
+	}
+}
+
+// mergeRelease drains the release phase's sink fields — armed pools,
+// release counters, and unbind timeline events — in ascending shard
+// order. releaseShard touches nothing else, and the sinks are clean on
+// entry (mergeSinks fully reset them at the end of the transfer phase),
+// so the partial reset here keeps every sink clean.
+//
+//sysvet:hotpath
+func (e *exec) mergeRelease() {
+	for s := range e.sinks {
+		sk := &e.sinks[s]
+		for _, p := range sk.armed {
+			e.armed.add(p)
+		}
+		if len(sk.timeline) > 0 {
+			e.res.Timeline = append(e.res.Timeline, sk.timeline...)
+		}
+		e.stats.Releases += sk.releases
+		sk.armed = sk.armed[:0]
+		sk.timeline = sk.timeline[:0]
+		sk.releases = 0
 	}
 }

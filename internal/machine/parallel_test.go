@@ -134,7 +134,7 @@ func TestRunParallelWorkersValidation(t *testing.T) {
 	}
 }
 
-// TestRunParallelDefaultsWorkers: RunParallel picks GOMAXPROCS when
+// TestRunParallelDefaultsWorkers: RunParallel picks AutoWorkers when
 // Workers is unset and still matches the single-threaded bytes.
 func TestRunParallelDefaultsWorkers(t *testing.T) {
 	m := mustCompile(t, pipeline(t, 32, 3), topology.Linear(32))
@@ -148,6 +148,37 @@ func TestRunParallelDefaultsWorkers(t *testing.T) {
 	}
 	if !reflect.DeepEqual(want, got) {
 		t.Fatal("RunParallel diverged from single-threaded Run")
+	}
+}
+
+// TestAutoWorkers pins the crossover heuristic to its benchmark-backed
+// thresholds: machines at or below the sizes BENCH_parallel.json shows
+// losing under sharding (1024 all-active cells) must choose 1 worker,
+// and the choice never exceeds GOMAXPROCS.
+func TestAutoWorkers(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	// wide-linear-1024 / mesh-32x32 class: 1024 cells, a measured
+	// wall-clock loss at workers=4 — auto mode must stay sequential.
+	m := mustCompile(t, pipeline(t, 1024, 1), topology.Linear(1024))
+	if got := m.AutoWorkers(); got != 1 {
+		t.Fatalf("AutoWorkers(1024 cells) = %d, want 1", got)
+	}
+	// Small machines likewise.
+	small := mustCompile(t, chain(t, 2), topology.Linear(2))
+	if got := small.AutoWorkers(); got != 1 {
+		t.Fatalf("AutoWorkers(2 cells) = %d, want 1", got)
+	}
+	if procs > 1 {
+		// Above the crossover the count scales with cells, capped at
+		// GOMAXPROCS: 8192 cells target 8192/2048 = 4 shards.
+		big := mustCompile(t, pipeline(t, 8192, 1), topology.Linear(8192))
+		want := 8192 / autoWorkersCellsPerShard
+		if want > procs {
+			want = procs
+		}
+		if got := big.AutoWorkers(); got != want {
+			t.Fatalf("AutoWorkers(8192 cells) = %d, want %d (procs=%d)", got, want, procs)
+		}
 	}
 }
 

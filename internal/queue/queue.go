@@ -96,6 +96,14 @@ func (q *Queue) Push(w Word) bool {
 	if !q.CanAccept() {
 		return false
 	}
+	if len(q.buf) == cap(q.buf) && cap(q.buf) < q.capacity+q.ext {
+		// Grow straight to the full capacity: one allocation per queue
+		// lifetime instead of append's doubling chain, and a reused
+		// queue (Init keeps the backing array) never grows again.
+		nb := make([]Word, len(q.buf), q.capacity+q.ext)
+		copy(nb, q.buf)
+		q.buf = nb
+	}
 	q.buf = append(q.buf, w)
 	q.stats.WordsPassed++
 	if len(q.buf) > q.stats.MaxOccupancy {

@@ -23,6 +23,7 @@ import (
 
 	"systolic/internal/core"
 	"systolic/internal/model"
+	"systolic/internal/sim"
 	"systolic/internal/topology"
 )
 
@@ -227,6 +228,14 @@ type Options struct {
 	// The callback must be safe for concurrent use. Grid points
 	// abandoned by cancellation are never reported.
 	OnOutcome func(index int, o Outcome)
+	// PerPoint disables column batching: every grid point runs
+	// through core.Execute against the machine's shared scratch pool
+	// instead of a per-column core.Runner with retained buffers. The
+	// batched driver produces byte-identical reports (the equivalence
+	// suite replays grids through both paths); PerPoint is the escape
+	// hatch and the comparison baseline for that suite and for
+	// benchmarks.
+	PerPoint bool
 	// Analysis, when non-nil, replaces the engine's own per-(case,
 	// lookahead) analysis step: the engine calls it exactly once per
 	// distinct (case index, lookahead budget) pair during warm-up and
@@ -288,26 +297,22 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 		cache.warm(cfg.Case, cfg.Lookahead)
 	}
 
+	// Worker-affine column batching: the enumeration order above makes
+	// every (case, lookahead) pair a contiguous block of
+	// |capacities|×|policies|×|queues| grid points sharing one analysis
+	// and one compiled machine. Handing each worker whole blocks (split
+	// into sub-columns when the grid has fewer blocks than workers)
+	// lets it replay its column through one retained core.Runner —
+	// scratch arenas, ready sets, and result buffers survive from point
+	// to point instead of round-tripping through the machine's
+	// sync.Pool. Outcomes still land in enumeration-order slots, so the
+	// report stays byte-identical for any worker count and either
+	// driver (see Options.PerPoint).
+	block := len(axes.Capacities) * len(axes.Policies) * len(axes.Queues)
+	spans := splitColumns(len(configs), block, opts.Workers)
 	outcomes := make([]Outcome, len(configs))
-	if err := ForEach(ctx, len(configs), opts.Workers, func(i int) {
-		cfg := configs[i]
-		ran := func() bool {
-			if err := opts.Limiter.Acquire(ctx); err != nil {
-				// ctx cancelled while waiting for a slot; Run returns
-				// ctx.Err() below, so the outcome is never observed.
-				return false
-			}
-			defer opts.Limiter.Release()
-			a, aerr := cache.get(cfg.Case, cfg.Lookahead)
-			outcomes[i] = runOne(ctx, cases[cfg.Case], cfg, a, aerr, opts)
-			return true
-		}()
-		// The callback runs outside the inner closure so the limiter
-		// slot is already back in the pool: a consumer that blocks here
-		// stalls this worker, never the process-wide budget.
-		if ran && opts.OnOutcome != nil {
-			opts.OnOutcome(i, outcomes[i])
-		}
+	if err := ForEach(ctx, len(spans), opts.Workers, func(si int) {
+		runSpan(ctx, cases, configs, spans[si], cache, outcomes, opts)
 	}); err != nil {
 		return nil, err
 	}
@@ -323,6 +328,76 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 		names[i] = c.Name
 	}
 	return &Report{Cases: names, Outcomes: outcomes}, nil
+}
+
+// span is one worker-affine unit of grid work: a contiguous index
+// range [lo, hi) of configs whose points all share one (case,
+// lookahead) analysis.
+type span struct{ lo, hi int }
+
+// splitColumns carves n grid points into worker-affine spans. Each
+// (case, lookahead) column is `block` contiguous points; when the grid
+// has at least as many columns as workers each column is one span, and
+// when it has fewer, every column is split into equal-as-possible
+// sub-columns so all workers stay busy. Splitting never crosses a
+// column boundary — a span's points always share an analysis.
+func splitColumns(n, block, workers int) []span {
+	if block <= 0 {
+		block = 1
+	}
+	cols := n / block
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parts := 1
+	if cols < workers {
+		parts = (workers + cols - 1) / cols
+		if parts > block {
+			parts = block
+		}
+	}
+	spans := make([]span, 0, cols*parts)
+	for c := 0; c < cols; c++ {
+		lo := c * block
+		for p := 0; p < parts; p++ {
+			s := lo + p*block/parts
+			e := lo + (p+1)*block/parts
+			if s < e {
+				spans = append(spans, span{s, e})
+			}
+		}
+	}
+	return spans
+}
+
+// runSpan replays one span's grid points back-to-back on the worker
+// that owns it, creating the span's core.Runner lazily on the first
+// simulated point (rejected and errored points never need one). Each
+// point still acquires its own limiter slot, and the slot is released
+// before OnOutcome fires, so a slow consumer stalls this worker but
+// never the process-wide simulation budget. A cancelled Acquire
+// abandons the rest of the span; Run refuses to return the partial
+// report. Release is called without defer — the loop holds at most
+// one slot at a time, and a panicking run is fatal anyway.
+//
+//sysvet:hotpath
+func runSpan(ctx context.Context, cases []Case, configs []Config, sp span, cache *analysisCache, outcomes []Outcome, opts Options) {
+	var runner *core.Runner
+	for i := sp.lo; i < sp.hi; i++ {
+		cfg := configs[i]
+		if err := opts.Limiter.Acquire(ctx); err != nil {
+			return
+		}
+		a, aerr := cache.get(cfg.Case, cfg.Lookahead)
+		if runner == nil && !opts.PerPoint && aerr == nil && a != nil && a.DeadlockFree {
+			runner = core.NewRunner(a)
+		}
+		outcomes[i] = runOne(ctx, cases[cfg.Case], cfg, a, aerr, runner, opts)
+		opts.Limiter.Release()
+		if opts.OnOutcome != nil {
+			opts.OnOutcome(i, outcomes[i])
+		}
+	}
 }
 
 // akey is the memoization key: the analysis (routes, labels, queue
@@ -404,10 +479,14 @@ func analyze(c Case, lookahead int) (*core.Analysis, error) {
 	return core.Analyze(c.Program, c.Topology, opts)
 }
 
-// runOne executes one grid point.
+// runOne executes one grid point. A non-nil runner routes the run
+// through the span's retained execution context; nil falls back to
+// core.Execute (the PerPoint path, and points whose analysis failed).
+// Only scalars are copied out of the Result, so the runner's aliased
+// Result buffers are safe to reuse on the next point.
 //
 //sysvet:hotpath
-func runOne(ctx context.Context, c Case, cfg Config, a *core.Analysis, aerr error, opts Options) Outcome {
+func runOne(ctx context.Context, c Case, cfg Config, a *core.Analysis, aerr error, runner *core.Runner, opts Options) Outcome {
 	// QueuesUsed starts as the requested budget so rejected/error rows
 	// still report which configuration they were; simulated rows below
 	// resolve 0 to the analysis minimum.
@@ -428,7 +507,7 @@ func runOne(ctx context.Context, c Case, cfg Config, a *core.Analysis, aerr erro
 	// Limiter.ShardBudget for the budget discipline.
 	workers, releaseShards := opts.Limiter.ShardBudget(opts.RunWorkers)
 	defer releaseShards()
-	res, err := core.Execute(a, core.ExecOptions{
+	eopts := core.ExecOptions{
 		Policy:        cfg.Policy,
 		QueuesPerLink: o.QueuesUsed,
 		Capacity:      cfg.Capacity,
@@ -443,7 +522,14 @@ func runOne(ctx context.Context, c Case, cfg Config, a *core.Analysis, aerr erro
 		// Force: under-provisioned grid points are the interesting
 		// ones — let them run and deadlock rather than be refused.
 		Force: true,
-	})
+	}
+	var res *sim.Result
+	var err error
+	if runner != nil {
+		res, err = runner.Execute(eopts)
+	} else {
+		res, err = core.Execute(a, eopts)
+	}
 	if err != nil {
 		o.Result = "error"
 		o.Err = err.Error()

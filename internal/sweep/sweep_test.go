@@ -3,6 +3,8 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"strings"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"systolic/internal/core"
+	"systolic/internal/gen"
 	"systolic/internal/model"
 	"systolic/internal/topology"
 	"systolic/internal/workload"
@@ -324,6 +327,110 @@ func TestAnalysisProviderBypassesEngineAnalyze(t *testing.T) {
 	}
 }
 
+// fuzzCorpusCases rebuilds the differential oracle's checked-in fuzz
+// corpus (seed, mutations, cyclic triples in go-fuzz v1 encoding) into
+// sweep cases, so the equivalence suite below replays exactly the
+// programs the fuzzer found interesting — every topology family,
+// cyclic flow, and mutated (deadlocking) programs.
+func fuzzCorpusCases(t *testing.T) []Case {
+	t.Helper()
+	dir := filepath.Join("..", "diff", "testdata", "fuzz", "FuzzOracle")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fuzz corpus: %v", err)
+	}
+	var cases []Case
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("reading corpus entry %s: %v", e.Name(), err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) != 4 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("corpus entry %s: unexpected layout %q", e.Name(), lines)
+		}
+		var seed int64
+		var mutations uint8
+		if _, err := fmt.Sscanf(lines[1], "int64(%d)", &seed); err != nil {
+			t.Fatalf("corpus entry %s: %v", e.Name(), err)
+		}
+		if _, err := fmt.Sscanf(lines[2], "byte(0x%x)", &mutations); err != nil {
+			t.Fatalf("corpus entry %s: %v", e.Name(), err)
+		}
+		cyclic := strings.Contains(lines[3], "true")
+		sc, err := gen.Generate(seed, gen.Options{Mutations: int(mutations % 8), Cyclic: cyclic})
+		if err != nil {
+			continue // impossible knobs, same as the fuzz target's skip
+		}
+		cases = append(cases, Case{Name: "corpus/" + e.Name(), Program: sc.Program, Topology: sc.Topology})
+	}
+	if len(cases) == 0 {
+		t.Fatal("fuzz corpus produced no cases")
+	}
+	return cases
+}
+
+// generatedCases derives n scenarios from consecutive seeds, mixing
+// acyclic and cyclic flow and mutation counts, as broad-coverage input
+// for the batched-vs-per-point equivalence suite.
+func generatedCases(t *testing.T, n int) []Case {
+	t.Helper()
+	cases := make([]Case, 0, n)
+	for seed := int64(1); len(cases) < n; seed++ {
+		sc, err := gen.Generate(seed, gen.Options{Mutations: int(seed % 5), Cyclic: seed%2 == 0})
+		if err != nil {
+			continue
+		}
+		cases = append(cases, Case{
+			Name:     fmt.Sprintf("gen-%d/%s", seed, sc.Name),
+			Program:  sc.Program,
+			Topology: sc.Topology,
+		})
+	}
+	return cases
+}
+
+// TestBatchedMatchesPerPoint is the batched driver's acceptance
+// criterion: for every grid — the oracle's fuzz corpus plus 200
+// generated scenarios, spanning completed, deadlocked, rejected, and
+// auto-budget points — the column-batched driver (retained core.Runner
+// per span) and the per-point baseline (core.Execute against the
+// machine's scratch pool) produce byte-identical reports, at 1 sweep
+// worker and at 4.
+func TestBatchedMatchesPerPoint(t *testing.T) {
+	scenarios := 200
+	if testing.Short() {
+		scenarios = 40
+	}
+	cases := append(fuzzCorpusCases(t), generatedCases(t, scenarios)...)
+	axes := Axes{
+		Policies:   []core.PolicyKind{core.NaiveFCFS, core.StaticAssignment, core.DynamicCompatible},
+		Queues:     []int{0, 2},
+		Capacities: []int{1},
+		Lookaheads: []int{0, 2},
+		Seed:       11,
+	}
+	for _, workers := range []int{1, 4} {
+		batched, err := Run(context.Background(), cases, axes, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d batched: %v", workers, err)
+		}
+		perPoint, err := Run(context.Background(), cases, axes, Options{Workers: workers, PerPoint: true})
+		if err != nil {
+			t.Fatalf("workers=%d per-point: %v", workers, err)
+		}
+		if !reflect.DeepEqual(batched, perPoint) {
+			for i := range batched.Outcomes {
+				if !reflect.DeepEqual(batched.Outcomes[i], perPoint.Outcomes[i]) {
+					t.Fatalf("workers=%d: grid point %d diverges:\nbatched:   %+v\nper-point: %+v",
+						workers, i, batched.Outcomes[i], perPoint.Outcomes[i])
+				}
+			}
+			t.Fatalf("workers=%d: reports diverge outside the outcome list", workers)
+		}
+	}
+}
+
 // TestRunOneObservesContext is the regression test for the sysvet
 // ctxloop finding that grid points ran detached from the sweep's
 // context: runOne built core.ExecOptions without Context, so a
@@ -340,12 +447,12 @@ func TestRunOneObservesContext(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	o := runOne(ctx, cases[0], cfg, a, aerr, Options{})
+	o := runOne(ctx, cases[0], cfg, a, aerr, nil, Options{})
 	if o.Result != "error" || !strings.Contains(o.Err, "cancelled") {
 		t.Fatalf("runOne under a cancelled ctx returned %q (err %q); want the cancellation to reach the machine", o.Result, o.Err)
 	}
 
-	if got := runOne(context.Background(), cases[0], cfg, a, aerr, Options{}); got.Result != "completed" {
+	if got := runOne(context.Background(), cases[0], cfg, a, aerr, nil, Options{}); got.Result != "completed" {
 		t.Fatalf("runOne under a live ctx returned %q (err %q), want completed", got.Result, got.Err)
 	}
 }

@@ -12,11 +12,18 @@
 // committed baseline document: every baseline benchmark must still
 // exist, and its machine-independent metrics (allocs/op, B/op) must
 // not exceed the baseline by more than -tolerance (a fraction;
-// default 0.10). Timing metrics are recorded but never compared —
-// they measure the CI runner, not the code. On regression the diff
-// goes to stderr and the exit status is 1.
+// default 0.10). Timing metrics are recorded but by default never
+// compared — they measure the CI runner, not the code. The exception
+// is opt-in: -time-tolerance FRACTION (> 0) additionally gates the
+// per-simulated-work timing metric ns/sim-cycle, which divides out
+// how much work the benchmark did and only moves with real per-cycle
+// cost; a generous fraction (e.g. 0.5: fail only beyond 1.5× the
+// baseline) keeps runner noise from flapping the gate while an
+// order-of-magnitude regression still fails. ns/op stays advisory
+// always. On regression the diff goes to stderr and the exit status
+// is 1.
 //
-//	go test -bench BenchmarkRunParallel -benchmem . | go run ./tools/benchjson -baseline BENCH_parallel.json
+//	go test -bench BenchmarkRunParallel -benchmem . | go run ./tools/benchjson -baseline BENCH_parallel.json -time-tolerance 0.5
 package main
 
 import (
@@ -52,6 +59,12 @@ const docVersion = 1
 // comparison checks. ns/op and custom timing metrics vary with the
 // host and are excluded by design.
 var comparedMetrics = [...]string{"allocs/op", "B/op"}
+
+// timedMetrics are the per-simulated-work timing metrics gated only
+// when -time-tolerance is set. Wall-clock ns/op is deliberately not
+// here: it scales with the benchmark's workload size, while these
+// divide the workload out and only move with real per-unit cost.
+var timedMetrics = [...]string{"ns/sim-cycle"}
 
 // parseLine parses one "BenchmarkX-8  N  V unit  V unit ..." line;
 // ok is false for anything that is not a benchmark result.
@@ -106,22 +119,18 @@ func normName(name string) string {
 
 // compare checks cur against base and returns one human-readable
 // violation per regression: a baseline benchmark that disappeared, or
-// a compared metric exceeding baseline*(1+tol). Benchmarks only in
+// a compared metric exceeding baseline*(1+tol). When timeTol > 0 the
+// timed metrics (ns/sim-cycle) are additionally gated against
+// baseline*(1+timeTol); 0 leaves timing advisory. Benchmarks only in
 // cur are fine — coverage may grow freely. Names are matched with the
 // GOMAXPROCS suffix stripped.
-func compare(cur, base document, tol float64) []string {
+func compare(cur, base document, tol, timeTol float64) []string {
 	curBy := make(map[string]entry, len(cur.Benchmarks))
 	for _, e := range cur.Benchmarks {
 		curBy[normName(e.Name)] = e
 	}
-	var bad []string
-	for _, b := range base.Benchmarks {
-		c, ok := curBy[normName(b.Name)]
-		if !ok {
-			bad = append(bad, fmt.Sprintf("%s: in baseline but not in current run", b.Name))
-			continue
-		}
-		for _, m := range comparedMetrics {
+	gate := func(bad []string, b, c entry, metrics []string, tol float64) []string {
+		for _, m := range metrics {
 			bv, inBase := b.Metrics[m]
 			cv, inCur := c.Metrics[m]
 			if !inBase {
@@ -134,6 +143,19 @@ func compare(cur, base document, tol float64) []string {
 			if cv > bv*(1+tol) {
 				bad = append(bad, fmt.Sprintf("%s: %s regressed: %.0f > baseline %.0f (+%.0f%% allowed)", b.Name, m, cv, bv, tol*100))
 			}
+		}
+		return bad
+	}
+	var bad []string
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[normName(b.Name)]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: in baseline but not in current run", b.Name))
+			continue
+		}
+		bad = gate(bad, b, c, comparedMetrics[:], tol)
+		if timeTol > 0 {
+			bad = gate(bad, b, c, timedMetrics[:], timeTol)
 		}
 	}
 	return bad
@@ -158,6 +180,7 @@ func loadBaseline(path string) (document, error) {
 func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to compare allocation metrics against")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional increase over baseline metrics")
+	timeTolerance := flag.Float64("time-tolerance", 0, "when > 0, also gate ns/sim-cycle at baseline*(1+this); 0 keeps timing advisory")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -179,7 +202,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if bad := compare(doc, base, *tolerance); len(bad) > 0 {
+	if bad := compare(doc, base, *tolerance, *timeTolerance); len(bad) > 0 {
 		for _, b := range bad {
 			fmt.Fprintln(os.Stderr, "benchjson:", b)
 		}

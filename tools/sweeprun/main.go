@@ -1,0 +1,289 @@
+// Command sweeprun is the reproducible experiment runner behind the
+// paper's Figs 7–9 tables: it reads a grid configuration (JSON), runs
+// the sweep through BOTH drivers — the column-batched driver and the
+// per-point baseline (sweep.Options.PerPoint) — asserts the two
+// reports are identical, and emits
+//
+//   - a deterministic CSV of every grid point (the artifact CI
+//     archives; byte-identical for a given config and binary), and
+//   - a small markdown timing table contrasting the drivers (wall
+//     time is machine-dependent and informational — it is why the CSV,
+//     not this table, is the reproducibility artifact).
+//
+// A report mismatch between the drivers is a correctness bug in the
+// batched driver and exits non-zero, so every CI run of the committed
+// smoke grid re-proves the batched/per-point equivalence on real
+// workloads.
+//
+//	go run ./tools/sweeprun -config tools/sweeprun/testdata/smoke.json -csv sweep.csv
+//
+// Config shape (see testdata/smoke.json):
+//
+//	{
+//	  "cases": [
+//	    {"workload": "fig7"},
+//	    {"gen": {"seed": 42, "mutations": 2, "cyclic": true}}
+//	  ],
+//	  "axes": {
+//	    "policies": ["fcfs", "static", "compatible"],
+//	    "queues": [0, 1, 2],
+//	    "capacities": [1, 2],
+//	    "lookaheads": [0, 2],
+//	    "seed": 1
+//	  },
+//	  "workers": 1,
+//	  "max_cycles": 0
+//	}
+//
+// Workload names are the built-in paper figures (fig3, fig5p1, fig5p2,
+// fig5p3, fig6, fig7, fig8, fig9); "gen" derives a scenario from
+// internal/gen's seeded generator instead.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"time"
+
+	"systolic/internal/core"
+	"systolic/internal/gen"
+	"systolic/internal/sweep"
+	"systolic/internal/workload"
+)
+
+// genSpec selects a generated scenario (internal/gen) as a case.
+type genSpec struct {
+	Seed      int64 `json:"seed"`
+	Mutations int   `json:"mutations"`
+	Cyclic    bool  `json:"cyclic"`
+}
+
+// caseSpec names one case: a built-in workload or a generated
+// scenario. Exactly one field must be set.
+type caseSpec struct {
+	Workload string   `json:"workload,omitempty"`
+	Gen      *genSpec `json:"gen,omitempty"`
+}
+
+// axesSpec is the JSON shape of sweep.Axes, with policies by name.
+type axesSpec struct {
+	Policies   []string `json:"policies"`
+	Queues     []int    `json:"queues"`
+	Capacities []int    `json:"capacities"`
+	Lookaheads []int    `json:"lookaheads"`
+	Seed       int64    `json:"seed"`
+}
+
+// config is the grid configuration document.
+type config struct {
+	Cases     []caseSpec `json:"cases"`
+	Axes      axesSpec   `json:"axes"`
+	Workers   int        `json:"workers"`
+	MaxCycles int        `json:"max_cycles"`
+}
+
+// loadConfig parses a config file.
+func loadConfig(path string) (config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return config{}, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var cfg config
+	if err := dec.Decode(&cfg); err != nil {
+		return config{}, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(cfg.Cases) == 0 {
+		return config{}, fmt.Errorf("%s: no cases", path)
+	}
+	return cfg, nil
+}
+
+// builtinWorkloads maps config names to the paper-figure constructors.
+var builtinWorkloads = map[string]func() *workload.Workload{
+	"fig3":   workload.Fig3,
+	"fig5p1": workload.Fig5P1,
+	"fig5p2": workload.Fig5P2,
+	"fig5p3": workload.Fig5P3,
+	"fig6":   workload.Fig6,
+	"fig7":   func() *workload.Workload { return workload.Fig7(workload.Fig7Options{}) },
+	"fig8":   workload.Fig8,
+	"fig9":   workload.Fig9,
+}
+
+// buildCases resolves every case spec to a sweep case.
+func buildCases(specs []caseSpec) ([]sweep.Case, error) {
+	cases := make([]sweep.Case, 0, len(specs))
+	for i, spec := range specs {
+		switch {
+		case spec.Workload != "" && spec.Gen == nil:
+			mk, ok := builtinWorkloads[spec.Workload]
+			if !ok {
+				return nil, fmt.Errorf("case %d: unknown workload %q", i, spec.Workload)
+			}
+			w := mk()
+			cases = append(cases, sweep.Case{Name: spec.Workload, Program: w.Program, Topology: w.Topology})
+		case spec.Gen != nil && spec.Workload == "":
+			sc, err := gen.Generate(spec.Gen.Seed, gen.Options{
+				Mutations: spec.Gen.Mutations,
+				Cyclic:    spec.Gen.Cyclic,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("case %d: %v", i, err)
+			}
+			cases = append(cases, sweep.Case{
+				Name:     fmt.Sprintf("gen-%d", spec.Gen.Seed),
+				Program:  sc.Program,
+				Topology: sc.Topology,
+			})
+		default:
+			return nil, fmt.Errorf("case %d: exactly one of \"workload\" or \"gen\" must be set", i)
+		}
+	}
+	return cases, nil
+}
+
+// buildAxes resolves the policy names.
+func buildAxes(spec axesSpec) (sweep.Axes, error) {
+	axes := sweep.Axes{
+		Queues:     spec.Queues,
+		Capacities: spec.Capacities,
+		Lookaheads: spec.Lookaheads,
+		Seed:       spec.Seed,
+	}
+	for _, name := range spec.Policies {
+		kind, err := core.ParsePolicy(name)
+		if err != nil {
+			return sweep.Axes{}, err
+		}
+		axes.Policies = append(axes.Policies, kind)
+	}
+	return axes, nil
+}
+
+// writeCSV renders a report as the deterministic experiment artifact:
+// one row per grid point in enumeration order. queues is the resolved
+// budget actually simulated (the requested budget for rejected or
+// errored points, where auto never resolves).
+func writeCSV(rep *sweep.Report) string {
+	var b strings.Builder
+	b.WriteString("case,policy,queues,capacity,lookahead,result,cycles,max_depth\n")
+	for _, o := range rep.Outcomes {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%s,%d,%d\n",
+			o.CaseName, o.Policy.String(), o.QueuesUsed, o.Capacity, o.Lookahead,
+			o.Result, o.Cycles, o.MaxQueueDepth)
+	}
+	return b.String()
+}
+
+// timings holds both drivers' wall-clock measurements.
+type timings struct {
+	points            int
+	batched, perPoint time.Duration
+}
+
+// markdown renders the informational timing table.
+func (t timings) markdown() string {
+	var b strings.Builder
+	b.WriteString("| driver | wall time | grid points | µs/point |\n")
+	b.WriteString("|---|---|---|---|\n")
+	row := func(name string, d time.Duration) {
+		us := float64(d.Microseconds()) / float64(t.points)
+		fmt.Fprintf(&b, "| %s | %s | %d | %.1f |\n", name, d.Round(time.Microsecond), t.points, us)
+	}
+	row("column-batched", t.batched)
+	row("per-point", t.perPoint)
+	return b.String()
+}
+
+// runBoth sweeps the grid through both drivers, timing each, and
+// verifies the reports match. The batched report is the one returned.
+func runBoth(ctx context.Context, cases []sweep.Case, axes sweep.Axes, cfg config) (*sweep.Report, timings, error) {
+	opts := sweep.Options{Workers: cfg.Workers, MaxCycles: cfg.MaxCycles}
+
+	start := time.Now()
+	batched, err := sweep.Run(ctx, cases, axes, opts)
+	if err != nil {
+		return nil, timings{}, fmt.Errorf("batched sweep: %v", err)
+	}
+	tb := time.Since(start)
+
+	opts.PerPoint = true
+	start = time.Now()
+	perPoint, err := sweep.Run(ctx, cases, axes, opts)
+	if err != nil {
+		return nil, timings{}, fmt.Errorf("per-point sweep: %v", err)
+	}
+	tp := time.Since(start)
+
+	if !reflect.DeepEqual(batched, perPoint) {
+		for i := range batched.Outcomes {
+			if !reflect.DeepEqual(batched.Outcomes[i], perPoint.Outcomes[i]) {
+				return nil, timings{}, fmt.Errorf("drivers disagree at grid point %d:\nbatched:   %+v\nper-point: %+v",
+					i, batched.Outcomes[i], perPoint.Outcomes[i])
+			}
+		}
+		return nil, timings{}, fmt.Errorf("drivers disagree outside the outcome list")
+	}
+	return batched, timings{points: len(batched.Outcomes), batched: tb, perPoint: tp}, nil
+}
+
+// writeOut writes data to path, or to stdout when path is "-".
+func writeOut(path, data string) error {
+	if path == "-" {
+		_, err := os.Stdout.WriteString(data)
+		return err
+	}
+	return os.WriteFile(path, []byte(data), 0o644)
+}
+
+func main() {
+	configPath := flag.String("config", "", "grid configuration JSON (required)")
+	csvPath := flag.String("csv", "-", "write the deterministic outcome CSV here (- = stdout)")
+	mdPath := flag.String("md", "", "write the markdown timing table here (default: stderr)")
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "sweeprun: -config is required")
+		os.Exit(2)
+	}
+
+	cfg, err := loadConfig(*configPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweeprun:", err)
+		os.Exit(1)
+	}
+	cases, err := buildCases(cfg.Cases)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweeprun:", err)
+		os.Exit(1)
+	}
+	axes, err := buildAxes(cfg.Axes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweeprun:", err)
+		os.Exit(1)
+	}
+
+	rep, tm, err := runBoth(context.Background(), cases, axes, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweeprun:", err)
+		os.Exit(1)
+	}
+	if err := writeOut(*csvPath, writeCSV(rep)); err != nil {
+		fmt.Fprintln(os.Stderr, "sweeprun:", err)
+		os.Exit(1)
+	}
+	md := tm.markdown()
+	if *mdPath == "" {
+		fmt.Fprint(os.Stderr, md)
+	} else if err := writeOut(*mdPath, md); err != nil {
+		fmt.Fprintln(os.Stderr, "sweeprun:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweeprun: %d grid points, drivers agree\n", tm.points)
+}

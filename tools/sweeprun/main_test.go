@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"systolic/internal/core"
+	"systolic/internal/sweep"
+)
+
+// TestSmokeConfigEndToEnd runs the committed CI smoke grid through
+// both drivers and pins the CSV artifact's determinism: two runs of
+// the same config produce byte-identical CSV, the drivers agree, and
+// the CSV has exactly one row per grid point.
+func TestSmokeConfigEndToEnd(t *testing.T) {
+	cfg, err := loadConfig(filepath.Join("testdata", "smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := buildCases(cfg.Cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axes, err := buildAxes(cfg.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, tm, err := runBoth(context.Background(), cases, axes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.points != axes.Size(len(cases)) {
+		t.Fatalf("ran %d grid points, config spans %d", tm.points, axes.Size(len(cases)))
+	}
+	csv1 := writeCSV(rep)
+	if got := strings.Count(csv1, "\n"); got != tm.points+1 {
+		t.Fatalf("CSV has %d lines, want header + %d rows", got, tm.points)
+	}
+	rep2, _, err := runBoth(context.Background(), cases, axes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csv2 := writeCSV(rep2); csv1 != csv2 {
+		t.Fatal("two runs of the same config produced different CSV bytes")
+	}
+	if !strings.Contains(csv1, "deadlocked") {
+		t.Error("smoke grid produced no deadlocks; it no longer exercises the interesting rows")
+	}
+	md := tm.markdown()
+	for _, want := range []string{"column-batched", "per-point", "µs/point"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("timing table missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestCSVShape pins the artifact schema: the exact header the
+// experiment pipeline greps, and resolved queue budgets in the rows.
+func TestCSVShape(t *testing.T) {
+	rep := &sweep.Report{Outcomes: []sweep.Outcome{{
+		Config:     sweep.Config{Policy: core.DynamicCompatible, Capacity: 2, Lookahead: 2},
+		CaseName:   "fig7",
+		QueuesUsed: 3,
+		Result:     "completed",
+		Cycles:     41,
+	}}}
+	got := writeCSV(rep)
+	want := "case,policy,queues,capacity,lookahead,result,cycles,max_depth\n" +
+		"fig7,dynamic-compatible,3,2,2,completed,41,0\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestBuildCasesValidation covers the config error paths.
+func TestBuildCasesValidation(t *testing.T) {
+	if _, err := buildCases([]caseSpec{{Workload: "not-a-figure"}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := buildCases([]caseSpec{{}}); err == nil {
+		t.Error("empty case spec accepted")
+	}
+	if _, err := buildCases([]caseSpec{{Workload: "fig7", Gen: &genSpec{Seed: 1}}}); err == nil {
+		t.Error("ambiguous case spec accepted")
+	}
+	if _, err := buildAxes(axesSpec{Policies: []string{"not-a-policy"}}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestLoadConfigRejectsUnknownFields keeps configs honest: a typo'd
+// key must fail loudly, not silently sweep a different grid.
+func TestLoadConfigRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"cases":[{"workload":"fig7"}],"axes":{"capacitys":[1]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadConfig(bad); err == nil {
+		t.Error("config with unknown field accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"cases":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadConfig(empty); err == nil {
+		t.Error("config with no cases accepted")
+	}
+}
