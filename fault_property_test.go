@@ -1,0 +1,173 @@
+// Property tests for the fault model's foundational identities:
+// a fault-free plan is invisible (nil plan ≡ empty plan ≡ all-factor-1
+// plan, byte for byte), and a dead cell's downstream starvation obeys
+// a closed-form delivery bound on relay pipelines. The differential
+// oracle checks the first identity statistically per run; these tests
+// pin it as a standalone property over generated scenarios so a
+// regression fails here with a seed, not inside a fuzz report.
+package systolic_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"systolic"
+)
+
+// TestFaultFreePlanIsByteIdentical: for generated scenarios across
+// topology families, Execute with a nil plan, an empty plan, and a
+// plan slowing every cell and link by factor 1 (at assorted
+// effective-from cycles) must return deep-equal results — the fault
+// gates compile away entirely when no fault degrades anything.
+func TestFaultFreePlanIsByteIdentical(t *testing.T) {
+	checked := 0
+	for seed := int64(1); seed <= 25; seed++ {
+		sc, err := systolic.GenerateProgram(seed, systolic.GenOptions{})
+		if err != nil {
+			continue
+		}
+		a, err := systolic.Analyze(sc.Program, sc.Topology, systolic.AnalyzeOptions{})
+		if err != nil || !a.DeadlockFree {
+			continue
+		}
+		noop := &systolic.FaultPlan{}
+		for c := 0; c < sc.Program.NumCells(); c++ {
+			noop.Cells = append(noop.Cells, systolic.CellFault{
+				Cell: systolic.CellID(c), Factor: 1, From: c % 5,
+			})
+		}
+		for l := range sc.Topology.Links() {
+			noop.Links = append(noop.Links, systolic.LinkFault{
+				Link: systolic.LinkID(l), Factor: 1, From: l % 3,
+			})
+		}
+		if !noop.IsNoop() {
+			t.Fatalf("seed %d: all-factor-1 plan not recognized as a no-op", seed)
+		}
+		var base *systolic.RunResult
+		for i, plan := range []*systolic.FaultPlan{nil, {}, noop} {
+			res, err := systolic.Execute(a, systolic.ExecOptions{Faults: plan})
+			if err != nil {
+				t.Fatalf("seed %d plan %d: %v", seed, i, err)
+			}
+			if res.Stats.GatedOps != 0 {
+				t.Fatalf("seed %d plan %d: no-op plan gated %d ops", seed, i, res.Stats.GatedOps)
+			}
+			if len(res.Faults) != 0 {
+				t.Fatalf("seed %d plan %d: no-op plan reported faults %v", seed, i, res.Faults)
+			}
+			if base == nil {
+				base = res
+			} else if !reflect.DeepEqual(base, res) {
+				t.Fatalf("seed %d plan %d: fault-free plan changed the result\nbase: %+v\ngot:  %+v", seed, i, base, res)
+			}
+		}
+		checked++
+	}
+	if checked < 15 {
+		t.Fatalf("only %d scenarios checked; the property lost its coverage", checked)
+	}
+}
+
+// relayPipelineDSL builds an n-cell linear relay: cell i reads a word
+// of M(i-1) and forwards it as M(i), `words` words per message.
+func relayPipelineDSL(n, words int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology linear %d\n", n)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "cell C%d\n", i)
+	}
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "message M%d C%d C%d %d\n", i, i, i+1, words)
+	}
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "code C%d:", i)
+		for w := 0; w < words; w++ {
+			if i > 1 {
+				fmt.Fprintf(&b, " R(M%d)", i-1)
+			}
+			if i < n {
+				fmt.Fprintf(&b, " W(M%d)", i)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// TestDeadCellStallBound pins the closed-form starvation bound: on a
+// relay pipeline at 1 queue/link and capacity 1, a cell dead from
+// cycle 0 at index k limits message j (0-indexed, cell j → cell j+1)
+// to exactly min(words, 2·(k−1−j)) delivered words for j < k−1, and
+// zero from the dead cell onward — each upstream relay stage buys its
+// predecessor exactly two more deliveries (one consumed, one parked
+// in the single queue slot) before the stall freezes it. The
+// degraded-budget analysis must agree that the guarantee is gone.
+func TestDeadCellStallBound(t *testing.T) {
+	for _, tc := range []struct{ n, words, dead int }{
+		{4, 10, 2},
+		{5, 6, 2},
+		{5, 6, 3},
+		{6, 4, 4},
+		{7, 3, 3},
+		{8, 5, 6},
+	} {
+		name := fmt.Sprintf("n=%d words=%d dead=%d", tc.n, tc.words, tc.dead)
+		p, topo, err := systolic.ParseDSL(relayPipelineDSL(tc.n, tc.words))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := systolic.Analyze(p, topo, systolic.AnalyzeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := systolic.ParseFaultSpec(fmt.Sprintf("cell:%d:dead", tc.dead))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := systolic.Execute(a, systolic.ExecOptions{
+			Faults: plan, QueuesPerLink: 1, Capacity: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Deadlocked {
+			t.Fatalf("%s: outcome %s, want deadlocked", name, res.Outcome())
+		}
+		for j := 0; j < p.NumMessages(); j++ {
+			want := 0
+			if j < tc.dead-1 {
+				want = 2 * (tc.dead - 1 - j)
+				if want > tc.words {
+					want = tc.words
+				}
+			}
+			if got := len(res.Received[systolic.MessageID(j)]); got != want {
+				t.Errorf("%s: message %d delivered %d words, want %d", name, j, got, want)
+			}
+		}
+		impacts := systolic.DegradedBudgets(a, plan)
+		if len(impacts) != 1 {
+			t.Fatalf("%s: %d impacts, want 1", name, len(impacts))
+		}
+		imp := impacts[0]
+		if imp.Class != systolic.FaultClassDeadCell || imp.GuaranteeHolds {
+			t.Errorf("%s: impact %+v, want dead-cell with the guarantee gone", name, imp)
+		}
+		if len(imp.AffectedMessages) == 0 {
+			t.Errorf("%s: dead mid-pipeline cell affected no messages", name)
+		}
+
+		// Fault-free, the same pipeline completes at the same budget:
+		// the starvation above is purely the fault's.
+		ok, err := systolic.Execute(a, systolic.ExecOptions{QueuesPerLink: 1, Capacity: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok.Completed {
+			t.Errorf("%s fault-free: %s, want completed", name, ok.Outcome())
+		}
+	}
+}

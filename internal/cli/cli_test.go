@@ -176,6 +176,72 @@ func TestSysdlRunStats(t *testing.T) {
 	}
 }
 
+// TestSysdlRunFault: `sysdl run -fault` degrades the array, completes
+// anyway for periodic faults, and reports the active faults, the gated
+// operation count, and the surviving Theorem 1 budgets.
+func TestSysdlRunFault(t *testing.T) {
+	opts := DefaultSysdlOptions()
+	opts.Fault = "cell:1:slow=2,link:0:slow=3@4"
+	var b strings.Builder
+	code, err := Sysdl(&b, "run", sampleDSL, opts)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"outcome: completed",
+		"faults:",
+		"cell:1:slow=2",
+		"gated ops:",
+		"impact cell:1:slow=2 (slow-cell): guarantee-holds=true",
+		"impact link:0:slow=3@4 (degraded-link): guarantee-holds=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("faulted run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSysdlRunFaultNoop: a factor-1 plan is byte-identical to no
+// -fault flag at all — no faults section, same run report.
+func TestSysdlRunFaultNoop(t *testing.T) {
+	var clean, noop strings.Builder
+	if code, err := Sysdl(&clean, "run", sampleDSL, DefaultSysdlOptions()); err != nil || code != 0 {
+		t.Fatalf("clean run: code=%d err=%v", code, err)
+	}
+	opts := DefaultSysdlOptions()
+	opts.Fault = "cell:0:slow=1"
+	if code, err := Sysdl(&noop, "run", sampleDSL, opts); err != nil || code != 0 {
+		t.Fatalf("noop-faulted run: code=%d err=%v", code, err)
+	}
+	if clean.String() != noop.String() {
+		t.Fatalf("factor-1 plan changed the output:\n%s\nvs\n%s", clean.String(), noop.String())
+	}
+}
+
+// TestSysdlRunFaultBadSpec: malformed and ill-fitting specs are usage
+// errors, not runs.
+func TestSysdlRunFaultBadSpec(t *testing.T) {
+	for _, spec := range []string{"cell:0:frobnicate", "link:0:dead", "gpu:0:slow=2"} {
+		opts := DefaultSysdlOptions()
+		opts.Fault = spec
+		var b strings.Builder
+		if code, err := Sysdl(&b, "run", sampleDSL, opts); err == nil || code != 2 {
+			t.Errorf("spec %q: code=%d err=%v, want usage error", spec, code, err)
+		}
+	}
+	// Well-formed specs naming elements the program does not have are
+	// execution-layer errors (exit 1), surfaced by Execute's validation.
+	for _, spec := range []string{"cell:99:dead", "cell:-1:dead"} {
+		opts := DefaultSysdlOptions()
+		opts.Fault = spec
+		var b strings.Builder
+		if code, err := Sysdl(&b, "run", sampleDSL, opts); err == nil || code != 1 {
+			t.Errorf("spec %q: code=%d err=%v, want exec error", spec, code, err)
+		}
+	}
+}
+
 func TestSysdlErrors(t *testing.T) {
 	var b strings.Builder
 	if code, err := Sysdl(&b, "run", "bogus", DefaultSysdlOptions()); err == nil || code == 0 {

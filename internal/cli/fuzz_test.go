@@ -86,6 +86,52 @@ func TestFuzzVerbUnderBudget(t *testing.T) {
 	}
 }
 
+// TestFuzzVerbFaults: `sysdl fuzz -faults` seeds a degraded-array
+// check per scenario; on the shipped runner that must stay violation-
+// free. An explicit -fault spec rides along the same way.
+func TestFuzzVerbFaults(t *testing.T) {
+	opts := DefaultSysdlOptions()
+	opts.FuzzN = 40
+	opts.FuzzFaults = true
+
+	var b strings.Builder
+	code, err := Sysdl(&b, "fuzz", "", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\n%s", code, b.String())
+	}
+	if out := b.String(); !strings.Contains(out, "invariant violations: 0") {
+		t.Fatalf("faulted fuzz reported violations:\n%s", out)
+	}
+
+	opts = DefaultSysdlOptions()
+	opts.FuzzN = 30
+	opts.Fault = "cell:0:slow=2"
+	b.Reset()
+	code, err = Sysdl(&b, "fuzz", "", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("explicit-plan fuzz: exit code %d\n%s", code, b.String())
+	}
+	if out := b.String(); !strings.Contains(out, "invariant violations: 0") {
+		t.Fatalf("explicit-plan fuzz reported violations:\n%s", out)
+	}
+}
+
+// TestFuzzVerbBadFaultSpec: a malformed -fault spec is a usage error.
+func TestFuzzVerbBadFaultSpec(t *testing.T) {
+	opts := DefaultSysdlOptions()
+	opts.Fault = "cell:0:melted"
+	var b strings.Builder
+	if code, err := Sysdl(&b, "fuzz", "", opts); err == nil || code != 2 {
+		t.Fatalf("code=%d err=%v, want usage error", code, err)
+	}
+}
+
 // TestFuzzVerbBadTopology: unknown topology names are usage errors.
 func TestFuzzVerbBadTopology(t *testing.T) {
 	opts := DefaultSysdlOptions()

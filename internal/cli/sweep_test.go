@@ -63,3 +63,33 @@ func TestSysdlSweepFlags(t *testing.T) {
 		t.Fatal("bad -sweep-policies accepted")
 	}
 }
+
+// TestSysdlSweepFault: `sysdl sweep -fault` degrades every grid point;
+// a periodic plan only delays, so the compatible policy still
+// completes its swept configurations, and a malformed spec is a usage
+// error.
+func TestSysdlSweepFault(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "dsl", "fig6.sys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultSysdlOptions()
+	opts.SweepPolicies = "compatible"
+	opts.SweepQueues = "0,2"
+	opts.SweepCapacities = "1"
+	opts.SweepLookaheads = "0"
+	opts.Fault = "cell:0:slow=2"
+	var b strings.Builder
+	code, err := Sysdl(&b, "sweep", string(src), opts)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, b.String())
+	}
+	if !strings.Contains(b.String(), "dynamic-compatible completes every swept configuration") {
+		t.Fatalf("periodic fault broke the completion guarantee:\n%s", b.String())
+	}
+
+	opts.Fault = "cell:0:melted"
+	if code, err := Sysdl(&b, "sweep", string(src), opts); err == nil || code != 2 {
+		t.Fatal("bad -fault spec accepted")
+	}
+}

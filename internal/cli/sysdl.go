@@ -25,6 +25,11 @@ type SysdlOptions struct {
 	Stats     bool
 	Force     bool
 
+	// Fault is a fault-plan spec (see systolic.ParseFaultSpec) the run
+	// and sweep verbs apply to every simulation, and the fuzz verb
+	// applies to every scenario it fits. Empty runs the perfect array.
+	Fault string
+
 	// sweep-verb flags: comma-separated axis values ("" = defaults)
 	// and the worker-pool bound (0 = GOMAXPROCS). Workers doubles as
 	// the run verb's intra-run shard count (deterministic: every
@@ -47,6 +52,7 @@ type SysdlOptions struct {
 	FuzzInterleave int
 	FuzzTopology   string
 	FuzzLookahead  int
+	FuzzFaults     bool
 	RunWorkers     int
 
 	// serve-verb flags: listen address, compiled-scenario cache bound,
@@ -84,6 +90,7 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Timeline, "timeline", o.Timeline, "print queue bind/release timeline")
 	fs.BoolVar(&o.Stats, "stats", o.Stats, "print per-queue statistics")
 	fs.BoolVar(&o.Force, "force", o.Force, "run even when Theorem 1's queue requirement is unmet")
+	fs.StringVar(&o.Fault, "fault", o.Fault, "run/sweep/fuzz: fault-plan spec, e.g. cell:1:slow=2,link:0:sever@9 (empty = perfect array)")
 	fs.StringVar(&o.SweepPolicies, "sweep-policies", o.SweepPolicies, "sweep: comma-separated policies (default fcfs,static,compatible)")
 	fs.StringVar(&o.SweepQueues, "sweep-queues", o.SweepQueues, "sweep: comma-separated queue budgets, 0 = auto (default 0,1,2,3)")
 	fs.StringVar(&o.SweepCapacities, "sweep-capacities", o.SweepCapacities, "sweep: comma-separated capacities (default 1,2)")
@@ -96,6 +103,7 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.IntVar(&o.FuzzInterleave, "fuzz-interleave", o.FuzzInterleave, "fuzz: interleave depth (0 = per-seed random)")
 	fs.StringVar(&o.FuzzTopology, "fuzz-topology", o.FuzzTopology, "fuzz: auto|linear|ring|mesh")
 	fs.IntVar(&o.FuzzLookahead, "fuzz-lookahead", o.FuzzLookahead, "fuzz: §8 analysis budget (0 = strict)")
+	fs.BoolVar(&o.FuzzFaults, "faults", o.FuzzFaults, "fuzz: additionally check each scenario degraded by a seeded fault plan")
 	fs.IntVar(&o.RunWorkers, "run-workers", o.RunWorkers, "sweep: shard each grid point across this many workers (limiter-bounded); fuzz: cross-check each simulation against a sharded re-run")
 	fs.StringVar(&o.Addr, "addr", o.Addr, "serve: listen address")
 	fs.IntVar(&o.CacheSize, "cache-size", o.CacheSize, "serve: compiled-scenario cache bound (entries)")
@@ -199,6 +207,10 @@ func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
 		if err != nil {
 			return 2, err
 		}
+		plan, err := systolic.ParseFaultSpec(opts.Fault)
+		if err != nil {
+			return 2, err
+		}
 		res, err := systolic.Execute(a, systolic.ExecOptions{
 			Policy:         kind,
 			QueuesPerLink:  opts.Queues,
@@ -207,11 +219,23 @@ func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
 			RecordTimeline: opts.Timeline,
 			Force:          opts.Force,
 			Workers:        opts.Workers,
+			Faults:         plan,
 		})
 		if err != nil {
 			return 1, err
 		}
 		fmt.Fprint(w, systolic.RenderRun(p, res))
+		if len(res.Faults) > 0 {
+			fmt.Fprintln(w, "faults:")
+			for _, f := range res.Faults {
+				fmt.Fprintf(w, "  %s\n", f)
+			}
+			fmt.Fprintf(w, "gated ops: %d\n", res.Stats.GatedOps)
+			for _, imp := range systolic.DegradedBudgets(a, plan) {
+				fmt.Fprintf(w, "impact %s (%s): guarantee-holds=%v affected-messages=%d queues dynamic=%d static=%d\n",
+					imp.Fault, imp.Class, imp.GuaranteeHolds, len(imp.AffectedMessages), imp.MinQueuesDynamic, imp.MinQueuesStatic)
+			}
+		}
 		if opts.Timeline {
 			fmt.Fprint(w, systolic.RenderTimeline(p, topo, res))
 		}
@@ -236,9 +260,13 @@ func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
 		if err != nil {
 			return 2, err
 		}
+		plan, err := systolic.ParseFaultSpec(opts.Fault)
+		if err != nil {
+			return 2, err
+		}
 		cases := []systolic.SweepCase{{Name: "program", Program: p, Topology: topo}}
 		rep, err := systolic.Sweep(context.Background(), cases, axes,
-			systolic.SweepOptions{Workers: opts.Workers, RunWorkers: opts.RunWorkers})
+			systolic.SweepOptions{Workers: opts.Workers, RunWorkers: opts.RunWorkers, Faults: plan})
 		if err != nil {
 			return 1, err
 		}
@@ -263,6 +291,10 @@ func Fuzz(w io.Writer, opts SysdlOptions) (int, error) {
 	if opts.FuzzN < 1 {
 		return 2, fmt.Errorf("cli: -n %d < 1", opts.FuzzN)
 	}
+	plan, err := systolic.ParseFaultSpec(opts.Fault)
+	if err != nil {
+		return 2, err
+	}
 	dopts := systolic.DiffOptions{
 		Gen: systolic.GenOptions{
 			Cells:      opts.FuzzCells,
@@ -275,6 +307,8 @@ func Fuzz(w io.Writer, opts SysdlOptions) (int, error) {
 		Lookahead:     opts.FuzzLookahead,
 		Workers:       opts.Workers,
 		RunWorkers:    opts.RunWorkers,
+		Faults:        plan,
+		SeedFaults:    opts.FuzzFaults,
 	}
 	// Bad generation knobs (e.g. -fuzz-cells 1) fail for every seed
 	// identically: catch them once up front as a usage error instead

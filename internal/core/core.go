@@ -19,6 +19,7 @@ import (
 
 	"systolic/internal/assign"
 	"systolic/internal/crossoff"
+	"systolic/internal/fault"
 	"systolic/internal/label"
 	"systolic/internal/machine"
 	"systolic/internal/model"
@@ -276,6 +277,13 @@ type ExecOptions struct {
 	// Context, when non-nil, cancels the run between simulated cycles;
 	// Execute then returns the wrapped context error.
 	Context context.Context
+	// Faults degrades the array for this run: slowed or dead cells,
+	// throttled or severed links, each optionally from a given cycle
+	// (see internal/fault). nil runs the perfect array. Faults are a
+	// run-time condition, not an analysis input — the analysis'
+	// Theorem 1 budgets describe the perfect array, and
+	// verify.DegradedBudgets reports which of them survive each fault.
+	Faults *fault.Plan
 }
 
 // MinQueues returns Theorem 1's queues-per-link requirement for a
@@ -348,6 +356,11 @@ func lower(a *Analysis, opts ExecOptions) (*machine.Machine, machine.ExecOptions
 	if opts.Workers < 0 {
 		return nil, none, &OptionError{Op: "Execute", Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
 	}
+	if opts.Faults != nil {
+		if ferr := opts.Faults.Validate(a.Program.NumCells(), len(a.Topology.Links())); ferr != nil {
+			return nil, none, &OptionError{Op: "Execute", Field: "Faults", Reason: ferr.Error()}
+		}
+	}
 	switch opts.Policy {
 	case DynamicCompatible, StaticAssignment, NaiveFCFS, NaiveLIFO, NaiveRandom, NaiveAdversarial:
 	default:
@@ -393,6 +406,7 @@ func lower(a *Analysis, opts ExecOptions) (*machine.Machine, machine.ExecOptions
 		RecordTimeline:   opts.RecordTimeline,
 		Workers:          opts.Workers,
 		Context:          opts.Context,
+		Faults:           opts.Faults,
 	}, nil
 }
 

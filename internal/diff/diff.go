@@ -43,6 +43,7 @@ import (
 
 	"systolic/internal/core"
 	"systolic/internal/dsl"
+	"systolic/internal/fault"
 	"systolic/internal/gen"
 	"systolic/internal/label"
 	"systolic/internal/model"
@@ -83,6 +84,20 @@ type Options struct {
 	// ShrinkBudget caps property evaluations spent minimizing one
 	// counterexample (0 = 200).
 	ShrinkBudget int
+	// Faults, when non-nil, adds the degraded-array invariants to every
+	// approved scenario: fault-noop-equivalence (an all-factor-1 plan is
+	// byte-identical to no plan), degraded-completion (under the
+	// periodic-only projection of the plan the run must still complete
+	// — slowdowns delay, they never remove progress), and
+	// fault-parallel-equivalence (the full plan, terminal faults
+	// included, produces byte-identical results single-threaded and
+	// sharded). Plans that do not fit a scenario's cell/link counts are
+	// skipped for that scenario.
+	Faults *fault.Plan
+	// SeedFaults derives a per-scenario random fault plan
+	// (gen.RandomFaults from the scenario seed) when Faults is nil —
+	// the sysdl fuzz -faults knob.
+	SeedFaults bool
 }
 
 func (o Options) withDefaults() Options {
@@ -117,7 +132,9 @@ type Finding struct {
 	// Invariant names what was checked: "theorem1-completion",
 	// "stream-equality", "stream-integrity", "label-consistency",
 	// "under-budget-deadlock", "parallel-equivalence",
-	// "analyze-error", "exec-error", "generate-error".
+	// "analyze-error", "exec-error", "generate-error",
+	// "fault-noop-equivalence", "degraded-completion",
+	// "fault-parallel-equivalence", "fault-exec-error".
 	Invariant string
 	// Expected marks anticipated findings (under-budget deadlocks);
 	// everything else is a violation.
@@ -351,7 +368,131 @@ func Check(sc *gen.Scenario, opts Options) Result {
 			}
 		}
 	}
+	faultChecks(sc, a, opts, &res, fail)
 	return res
+}
+
+// faultChecks runs the degraded-array invariants on one approved
+// scenario, after the main matrix, at one configuration: the first
+// policy and capacity, at exactly the Theorem 1 budget.
+func faultChecks(sc *gen.Scenario, a *core.Analysis, opts Options, res *Result, fail func(Finding)) {
+	numCells := sc.Program.NumCells()
+	numLinks := len(sc.Topology.Links())
+	plan := opts.Faults
+	if plan == nil && opts.SeedFaults {
+		plan = gen.RandomFaults(sc.Seed, numCells, numLinks, gen.FaultOptions{})
+	}
+	if plan.IsNoop() {
+		return
+	}
+	if plan.Validate(numCells, numLinks) != nil {
+		// An explicit plan sized for a different array; nothing to
+		// check on this scenario.
+		return
+	}
+	pol := opts.Policies[0]
+	capacity := opts.Capacities[0]
+	q := a.MinQueues(pol)
+	if q < 1 {
+		q = 1
+	}
+	cfg := Finding{Policy: pol.String(), Queues: q, MinQueues: a.MinQueues(pol), Capacity: capacity}
+	exec := func(p *fault.Plan, workers int) (*sim.Result, error) {
+		res.Runs++
+		r, err := core.Execute(a, core.ExecOptions{
+			Policy:        pol,
+			QueuesPerLink: q,
+			Capacity:      capacity,
+			MaxCycles:     opts.MaxCycles,
+			Workers:       workers,
+			Faults:        p,
+			Force:         true,
+		})
+		if err == nil && r.Completed {
+			res.Completed++
+		}
+		return r, err
+	}
+
+	// Invariant: a plan whose every fault is a factor-1 no-op must be
+	// byte-identical to running with no plan at all.
+	noop := &fault.Plan{}
+	for c := 0; c < numCells; c++ {
+		noop.Cells = append(noop.Cells, fault.CellFault{Cell: model.CellID(c), Factor: 1})
+	}
+	clean, cleanErr := exec(nil, 0)
+	rNoop, noopErr := exec(noop, 0)
+	switch {
+	case (cleanErr == nil) != (noopErr == nil):
+		f := cfg
+		f.Invariant = "fault-noop-equivalence"
+		f.Detail = fmt.Sprintf("factor-1 plan changed the error outcome: %v vs %v", noopErr, cleanErr)
+		fail(f)
+	case cleanErr == nil && !reflect.DeepEqual(clean, rNoop):
+		f := cfg
+		f.Invariant = "fault-noop-equivalence"
+		f.Detail = fmt.Sprintf("factor-1 plan diverged from fault-free run: %s vs %s after %d vs %d cycles",
+			rNoop.Outcome(), clean.Outcome(), rNoop.Cycles, clean.Cycles)
+		fail(f)
+	}
+
+	// Invariant: under the periodic-only projection of the plan (dead
+	// cells and severed links weakened to factor-3 slowdowns) an
+	// analyzer-approved configuration must still complete — periodic
+	// faults delay progress but can never remove it.
+	periodic := &fault.Plan{}
+	for _, c := range plan.Cells {
+		if c.Dead {
+			c.Dead, c.Factor = false, 3
+		}
+		if c.Factor > 1 {
+			periodic.Cells = append(periodic.Cells, c)
+		}
+	}
+	for _, l := range plan.Links {
+		if l.Severed {
+			l.Severed, l.Factor = false, 3
+		}
+		if l.Factor > 1 {
+			periodic.Links = append(periodic.Links, l)
+		}
+	}
+	rp, perr := exec(periodic, 0)
+	switch {
+	case perr != nil:
+		f := cfg
+		f.Invariant = "fault-exec-error"
+		f.Detail = fmt.Sprintf("periodic plan %s: %v", periodic, perr)
+		fail(f)
+	case !rp.Completed:
+		f := cfg
+		f.Invariant = "degraded-completion"
+		f.Detail = fmt.Sprintf("%s after %d cycles under periodic plan %s: %s",
+			rp.Outcome(), rp.Cycles, periodic, blockedCells(sc.Program, rp.Blocked))
+		fail(f)
+	}
+
+	// Invariant: the full plan — terminal faults included — produces
+	// byte-identical results single-threaded and sharded.
+	workers := opts.RunWorkers
+	if workers <= 1 {
+		workers = 4
+	}
+	r1, err1 := exec(plan, 0)
+	rw, errw := exec(plan, workers)
+	switch {
+	case (err1 == nil) != (errw == nil):
+		f := cfg
+		f.Invariant = "fault-parallel-equivalence"
+		f.Detail = fmt.Sprintf("plan %s: error outcome differs between workers 1 and %d: %v vs %v", plan, workers, err1, errw)
+		fail(f)
+	case err1 == nil && !reflect.DeepEqual(r1, rw):
+		f := cfg
+		f.Invariant = "fault-parallel-equivalence"
+		f.Detail = fmt.Sprintf("plan %s: workers=%d diverged from single-threaded: %s vs %s after %d vs %d cycles",
+			plan, workers, rw.Outcome(), r1.Outcome(), rw.Cycles, r1.Cycles)
+		fail(f)
+	}
 }
 
 // analyzeOptions maps oracle options onto the analyzer's.

@@ -7,6 +7,7 @@ import (
 
 	"systolic/internal/core"
 	"systolic/internal/dsl"
+	"systolic/internal/fault"
 	"systolic/internal/gen"
 	"systolic/internal/model"
 	"systolic/internal/workload"
@@ -37,6 +38,49 @@ func TestCleanSweep(t *testing.T) {
 				t.Fatalf("report sized %d/%d, want 300", rep.N, len(rep.Results))
 			}
 		})
+	}
+}
+
+// TestFaultedSweep: with seeded fault plans the degraded-array
+// invariants (noop-equivalence, degraded-completion, parallel
+// equivalence under faults) must hold across a batch of scenarios —
+// and the extra simulations must actually run.
+func TestFaultedSweep(t *testing.T) {
+	clean, err := Run(context.Background(), 120, 1, Options{Gen: gen.Options{Mutations: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Run(context.Background(), 120, 1, Options{Gen: gen.Options{Mutations: 2}, SeedFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range faulted.Violations() {
+		t.Errorf("faulted sweep: %s", v)
+	}
+	runs := func(r *Report) (n int) {
+		for _, res := range r.Results {
+			n += res.Runs
+		}
+		return n
+	}
+	if c, f := runs(clean), runs(faulted); f <= c {
+		t.Fatalf("SeedFaults ran %d simulations over %d clean — the degraded checks never executed", f, c)
+	}
+}
+
+// TestFaultedSweepExplicitPlan: an explicit plan is applied to every
+// scenario it fits, including terminal faults, without violations.
+func TestFaultedSweepExplicitPlan(t *testing.T) {
+	plan, err := fault.ParseSpec("cell:1:slow=2,cell:0:dead@9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), 80, 3, Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations() {
+		t.Errorf("explicit-plan sweep: %s", v)
 	}
 }
 

@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+	}{
+		{"cell out of range", &Plan{Cells: []CellFault{{Cell: 5, Factor: 2}}}},
+		{"negative cell", &Plan{Cells: []CellFault{{Cell: -1, Factor: 2}}}},
+		{"duplicate cell", &Plan{Cells: []CellFault{{Cell: 1, Factor: 2}, {Cell: 1, Dead: true}}}},
+		{"negative factor", &Plan{Cells: []CellFault{{Cell: 0, Factor: -2}}}},
+		{"dead plus slow", &Plan{Cells: []CellFault{{Cell: 0, Dead: true, Factor: 3}}}},
+		{"negative from", &Plan{Cells: []CellFault{{Cell: 0, Factor: 2, From: -1}}}},
+		{"link out of range", &Plan{Links: []LinkFault{{Link: 4, Factor: 2}}}},
+		{"duplicate link", &Plan{Links: []LinkFault{{Link: 0, Factor: 2}, {Link: 0, Severed: true}}}},
+		{"severed plus slow", &Plan{Links: []LinkFault{{Link: 0, Severed: true, Factor: 2}}}},
+		{"link negative from", &Plan{Links: []LinkFault{{Link: 0, Factor: 2, From: -3}}}},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(5, 4); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(0, 0); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+	ok := &Plan{
+		Cells: []CellFault{{Cell: 0, Factor: 3}, {Cell: 4, Dead: true, From: 7}},
+		Links: []LinkFault{{Link: 3, Severed: true}, {Link: 0, Factor: 2, From: 1}},
+	}
+	if err := ok.Validate(5, 4); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestIsNoopAndPeriodicOnly(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.IsNoop() || !nilPlan.PeriodicOnly() {
+		t.Error("nil plan not noop/periodic")
+	}
+	if !(&Plan{}).IsNoop() {
+		t.Error("empty plan not noop")
+	}
+	factor1 := &Plan{
+		Cells: []CellFault{{Cell: 0, Factor: 1}, {Cell: 1, Factor: 0}},
+		Links: []LinkFault{{Link: 0, Factor: 1}},
+	}
+	if !factor1.IsNoop() {
+		t.Error("all-factor-1 plan not noop")
+	}
+	slow := &Plan{Cells: []CellFault{{Cell: 0, Factor: 2}}}
+	if slow.IsNoop() || !slow.PeriodicOnly() {
+		t.Error("slowdown misclassified")
+	}
+	dead := &Plan{Cells: []CellFault{{Cell: 0, Dead: true}}}
+	if dead.IsNoop() || dead.PeriodicOnly() {
+		t.Error("dead cell misclassified")
+	}
+	severed := &Plan{Links: []LinkFault{{Link: 0, Severed: true}}}
+	if severed.IsNoop() || severed.PeriodicOnly() {
+		t.Error("severed link misclassified")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"cell:2:slow=3",
+		"cell:0:dead",
+		"cell:1:dead@12",
+		"link:4:slow=2@7",
+		"link:3:sever",
+		"cell:2:slow=3,cell:0:dead@5,link:1:slow=4,link:0:sever@9",
+	}
+	for _, s := range specs {
+		p, err := ParseSpec(s)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", s, err)
+			continue
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q → %q", s, got)
+		}
+	}
+	// Whitespace is tolerated, canonical form is tight.
+	p, err := ParseSpec(" cell:1:slow=2 , link:0:sever ")
+	if err != nil {
+		t.Fatalf("spaced spec: %v", err)
+	}
+	if got := p.String(); got != "cell:1:slow=2,link:0:sever" {
+		t.Errorf("spaced spec canonicalized to %q", got)
+	}
+	if p2, err := ParseSpec(""); err != nil || p2 != nil {
+		t.Errorf("empty spec → (%v, %v), want (nil, nil)", p2, err)
+	}
+	bad := []string{
+		"cell:1",          // missing effect
+		"cell:x:slow=2",   // bad index
+		"cell:1:slow=x",   // bad factor
+		"cell:1:sever",    // cells die
+		"link:1:dead",     // links sever
+		"cell:1:slow=2@x", // bad from
+		"queue:1:slow=2",  // unknown kind
+		"cell:1:explode",  // unknown effect
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+func TestLowerGates(t *testing.T) {
+	plan := &Plan{
+		Cells: []CellFault{
+			{Cell: 1, Factor: 3},           // slow from cycle 0
+			{Cell: 2, Dead: true, From: 5}, // dead from cycle 5
+			{Cell: 3, Factor: 1},           // no-op entry
+		},
+		Links: []LinkFault{
+			{Link: 0, Factor: 2, From: 4}, // throttled from cycle 4
+			{Link: 2, Severed: true},      // severed from cycle 0
+		},
+	}
+	l := Lower(plan, 4, 3)
+	if l == nil {
+		t.Fatal("Lower returned nil for an effective plan")
+	}
+
+	// Unfaulted cell always open.
+	for cyc := 0; cyc < 10; cyc++ {
+		if !l.CellOpen(0, cyc) {
+			t.Errorf("healthy cell closed at %d", cyc)
+		}
+	}
+	// Factor-3 cell: open exactly on multiples of 3 (global phase).
+	for cyc := 0; cyc < 12; cyc++ {
+		want := cyc%3 == 0
+		if got := l.CellOpen(1, cyc); got != want {
+			t.Errorf("slow cell at %d: open=%v, want %v", cyc, got, want)
+		}
+	}
+	// Dead-from-5 cell: open before 5, closed forever after.
+	for cyc := 0; cyc < 10; cyc++ {
+		want := cyc < 5
+		if got := l.CellOpen(2, cyc); got != want {
+			t.Errorf("dead cell at %d: open=%v, want %v", cyc, got, want)
+		}
+	}
+	// Factor-1 entry lowered to no gate.
+	if !l.CellOpen(3, 7) {
+		t.Error("factor-1 cell gated")
+	}
+	// Throttled-from-4 link: open before 4, then even cycles only.
+	for cyc := 0; cyc < 10; cyc++ {
+		want := cyc < 4 || cyc%2 == 0
+		if got := l.LinkOpen(0, cyc); got != want {
+			t.Errorf("throttled link at %d: open=%v, want %v", cyc, got, want)
+		}
+	}
+	// Severed link closed from cycle 0.
+	if l.LinkOpen(2, 0) || l.LinkOpen(2, 100) {
+		t.Error("severed link open")
+	}
+	// Healthy link open.
+	if !l.LinkOpen(1, 3) {
+		t.Error("healthy link closed")
+	}
+
+	// AllPeriodicOpen: factor 3 (from 0) and factor 2 (from 4) are both
+	// open on multiples of 6, and on 3 (the link gate not yet in
+	// effect); never on 4 (3∤4), 8 (3∤8), or 9 (2∤9).
+	for _, c := range []struct {
+		cyc  int
+		want bool
+	}{{0, true}, {3, true}, {4, false}, {6, true}, {8, false}, {9, false}, {12, true}} {
+		if got := l.AllPeriodicOpen(c.cyc); got != c.want {
+			t.Errorf("AllPeriodicOpen(%d) = %v, want %v", c.cyc, got, c.want)
+		}
+	}
+
+	if l.MaxFactor() != 3 {
+		t.Errorf("MaxFactor = %d, want 3", l.MaxFactor())
+	}
+	if n, ok := l.ScaleCycles(100); !ok || n != 300 {
+		t.Errorf("ScaleCycles(100) = (%d, %v), want (300, true)", n, ok)
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if _, ok := l.ScaleCycles(maxInt/3 + 1); ok {
+		t.Error("ScaleCycles overflow not reported")
+	}
+
+	// Descriptions: only effective faults, cells first, plan order.
+	want := []string{"cell:1:slow=3", "cell:2:dead@5", "link:0:slow=2@4", "link:2:sever"}
+	if got := l.Descriptions(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Descriptions = %v, want %v", got, want)
+	}
+}
+
+func TestLowerNoopReturnsNil(t *testing.T) {
+	if Lower(nil, 3, 2) != nil {
+		t.Error("Lower(nil) non-nil")
+	}
+	if Lower(&Plan{}, 3, 2) != nil {
+		t.Error("Lower(empty) non-nil")
+	}
+	if Lower(&Plan{Cells: []CellFault{{Cell: 0, Factor: 1}}}, 3, 2) != nil {
+		t.Error("Lower(factor-1) non-nil")
+	}
+}
+
+// TestTypesAreStable pins the public field types the wire format and
+// CLI build on.
+func TestTypesAreStable(t *testing.T) {
+	_ = CellFault{Cell: model.CellID(0), Factor: 2, Dead: false, From: 0}
+	_ = LinkFault{Link: topology.LinkID(0), Factor: 2, Severed: false, From: 0}
+}

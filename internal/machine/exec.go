@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"systolic/internal/assign"
+	"systolic/internal/fault"
 	"systolic/internal/model"
 	"systolic/internal/queue"
 	"systolic/internal/topology"
@@ -178,6 +179,15 @@ type exec struct {
 
 	ctx assign.Context // per-run policy context; fields are shared read-only views
 
+	// faults holds the run's lowered fault tables; nil on fault-free
+	// runs, so every hot-path gate is a single pointer test. The
+	// tables are immutable, making concurrent shard reads safe. Gates
+	// sit at the four operation-issue sites (reads, interior advances,
+	// sender writes, rendezvous), each checked *after* every fault-free
+	// readiness criterion, so the gated-op count — and therefore every
+	// downstream byte — matches the reference engine's full scan.
+	faults *fault.Lowered
+
 	// Sharded-execution state (see parallel.go). workers is the shard
 	// count (1 = single-threaded); recvShard/sendShard map each message
 	// to the shard owning its receiver/sender cell (only filled when
@@ -239,7 +249,7 @@ func grow[T any](s []T, n int) []T {
 }
 
 // init sizes the exec for one run, reusing pooled backing arrays.
-func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int) {
+func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int, flt *fault.Lowered) {
 	e.m = m
 	e.logic = opts.Logic
 	e.policy = opts.Policy
@@ -247,6 +257,7 @@ func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int) {
 	e.capacity = opts.Capacity
 	e.queuesPerLink = opts.QueuesPerLink
 	e.recordTimeline = opts.RecordTimeline
+	e.faults = flt
 
 	q := opts.QueuesPerLink
 	e.numPools = tbl.numPools
@@ -398,6 +409,7 @@ func (e *exec) release() {
 	e.received = nil
 	e.arena = nil
 	e.cancel = nil
+	e.faults = nil
 	e.ctx = assign.Context{}
 	e.res = Result{}
 	e.stats = Stats{}
@@ -417,6 +429,24 @@ func (e *exec) owns(s int, shard []int32, id model.MessageID) bool {
 //sysvet:hotpath
 func (e *exec) poolOf(id model.MessageID, hop int) int {
 	return int(e.m.hops[e.m.hopOff[id]+int32(hop)].pool[e.flavor])
+}
+
+// hopLink returns the physical link of hop i of message id.
+//
+//sysvet:hotpath
+func (e *exec) hopLink(id model.MessageID, hop int) topology.LinkID {
+	return e.m.hops[e.m.hopOff[id]+int32(hop)].link
+}
+
+// noteGated counts one operation held back by a fault gate.
+//
+//sysvet:hotpath
+func (e *exec) noteGated(sk *sink) {
+	if e.direct {
+		e.stats.GatedOps++
+		return
+	}
+	sk.gated++
 }
 
 // pool returns the queue instances of pool p.
@@ -651,7 +681,13 @@ func (e *exec) run(maxCycles int) {
 		e.grantPhase()
 		e.cellAndTransferPhase()
 		e.releasePhase()
-		if !e.moved && !e.anyCooling() {
+		if !e.moved && !e.anyCooling() && (e.faults == nil || e.faults.AllPeriodicOpen(e.now)) {
+			// A no-event cycle proves deadlock only if every periodic
+			// fault gate was open: a closed gate may be the sole reason
+			// nothing moved, and the system can progress once it
+			// reopens. Dead cells and severed links never reopen, so
+			// they are rightly excluded — work stalled on them is a
+			// genuine, deterministic deadlock.
 			e.res.Deadlocked = true
 			e.res.Blocked = e.blockedReport()
 			break
@@ -993,6 +1029,10 @@ func (e *exec) readShard(s int) {
 		if !qi.q.FrontReady() {
 			continue
 		}
+		if e.faults != nil && !e.faults.CellOpen(cell, e.now) {
+			e.noteGated(sk)
+			continue
+		}
 		word := qi.q.Pop()
 		e.noteCooling(qi, sk)
 		e.logic.OnRead(cell, id, ms.read, word)
@@ -1022,6 +1062,10 @@ func (e *exec) advanceShard(s int) {
 				continue
 			}
 			if src.q.FrontReady() && dst.q.CanAccept() {
+				if e.faults != nil && !e.faults.LinkOpen(e.hopLink(id, hop+1), e.now) {
+					e.noteGated(sk)
+					continue
+				}
 				dst.q.Push(src.q.Pop())
 				e.noteCooling(src, sk)
 				ms.departed[hop]++
@@ -1072,6 +1116,10 @@ func (e *exec) writeShard(s int) {
 		if !qi.q.CanAccept() {
 			continue
 		}
+		if e.faults != nil && (!e.faults.CellOpen(cell, e.now) || !e.faults.LinkOpen(qi.link, e.now)) {
+			e.noteGated(sk)
+			continue
+		}
 		qi.q.Push(e.logic.Produce(cell, id, ms.written))
 		ms.written++
 		e.noteTransport(id, sk)
@@ -1112,6 +1160,12 @@ func (e *exec) rendezvous(sk *sink) {
 			continue
 		}
 		if rOp.Kind != model.Read || rOp.Msg != id {
+			continue
+		}
+		if e.faults != nil && (!e.faults.CellOpen(e.m.sender[id], e.now) ||
+			!e.faults.CellOpen(e.m.receiver[id], e.now) ||
+			!e.faults.LinkOpen(ms.queues[0].link, e.now)) {
+			e.noteGated(sk)
 			continue
 		}
 		w := e.logic.Produce(e.m.sender[id], id, ms.written)
@@ -1196,6 +1250,11 @@ func (e *exec) result() Result {
 	}
 	e.res.Cycles = e.now
 	e.res.Received = e.received
+	if e.faults != nil {
+		// The descriptions are computed once at Lower and shared; the
+		// content equality is what the cross-engine suites compare.
+		e.res.Faults = e.faults.Descriptions()
+	}
 
 	// Cycles in which the reference engine's accounting ran: every
 	// executed cycle, plus the deadlock cycle itself (its accounting

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"systolic/internal/assign"
+	"systolic/internal/fault"
 	"systolic/internal/model"
 	"systolic/internal/queue"
 	"systolic/internal/topology"
@@ -107,10 +108,15 @@ type QueueStat struct {
 
 // Stats aggregates run counters.
 type Stats struct {
-	Cycles        int
-	WordsMoved    int // total hop traversals (incl. final reads)
-	Grants        int
-	Releases      int
+	Cycles     int
+	WordsMoved int // total hop traversals (incl. final reads)
+	Grants     int
+	Releases   int
+	// GatedOps counts operations that were ready by every fault-free
+	// criterion but were held back by a fault gate that cycle. Zero on
+	// unfaulted runs; under faults it is the run's stall-pressure
+	// measure, identical across engines and worker counts.
+	GatedOps      int
 	BlockedCycles []int // per cell: cycles spent with a stalled op
 	Queues        []QueueStat
 }
@@ -127,6 +133,9 @@ type Result struct {
 	Received [][]Word
 	// Blocked describes stuck cells when Deadlocked.
 	Blocked []CellBlock
+	// Faults lists the active (non-no-op) faults of the run's
+	// FaultPlan in canonical spec form; nil on fault-free runs.
+	Faults []string
 	// Timeline is non-nil when ExecOptions.RecordTimeline.
 	Timeline []BindEvent
 	Stats    Stats
@@ -184,6 +193,12 @@ type ExecOptions struct {
 	// RecordTimeline captures bind/release events for rendering
 	// (Fig 7's lower half).
 	RecordTimeline bool
+	// Faults degrades the array for this run: slowed or dead cells,
+	// throttled or severed links (see internal/fault). nil (or a
+	// no-op plan) runs the perfect array, byte-identically to a run
+	// with no plan at all. Faults are per-run, like queue budgets:
+	// one compiled machine serves faulted and fault-free runs alike.
+	Faults *fault.Plan
 	// Workers selects deterministic sharded execution: each cycle's
 	// phases fan out across this many shards with per-phase barriers,
 	// and shard effects merge in fixed shard order, so the Result is
@@ -432,36 +447,43 @@ func (m *Machine) Reset() {
 }
 
 // prepare validates opts, applies defaults (Logic, MaxCycles), and
-// resolves the pool regime. It is the shared front half of Run and
-// Exec.Run, so both reject configurations with identical errors.
-func (m *Machine) prepare(opts *ExecOptions) (maxCycles int, tbl *poolTable, flavor int, err error) {
+// resolves the pool regime plus the lowered fault tables. It is the
+// shared front half of Run and Exec.Run, so both reject
+// configurations with identical errors.
+func (m *Machine) prepare(opts *ExecOptions) (maxCycles int, tbl *poolTable, flavor int, flt *fault.Lowered, err error) {
 	if opts.Policy == nil {
-		return 0, nil, 0, &ConfigError{Field: "Policy", Reason: "nil policy"}
+		return 0, nil, 0, nil, &ConfigError{Field: "Policy", Reason: "nil policy"}
 	}
 	if opts.QueuesPerLink < 1 {
-		return 0, nil, 0, &ConfigError{Field: "QueuesPerLink", Reason: fmt.Sprintf("%d < 1 (every link needs at least one queue, §2.3)", opts.QueuesPerLink)}
+		return 0, nil, 0, nil, &ConfigError{Field: "QueuesPerLink", Reason: fmt.Sprintf("%d < 1 (every link needs at least one queue, §2.3)", opts.QueuesPerLink)}
 	}
 	if opts.Capacity < 0 {
-		return 0, nil, 0, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", opts.Capacity)}
+		return 0, nil, 0, nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", opts.Capacity)}
 	}
 	if opts.ExtCapacity < 0 {
-		return 0, nil, 0, &ConfigError{Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", opts.ExtCapacity)}
+		return 0, nil, 0, nil, &ConfigError{Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", opts.ExtCapacity)}
 	}
 	if opts.ExtPenalty < 0 {
-		return 0, nil, 0, &ConfigError{Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", opts.ExtPenalty)}
+		return 0, nil, 0, nil, &ConfigError{Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", opts.ExtPenalty)}
 	}
 	if opts.Workers < 0 {
-		return 0, nil, 0, &ConfigError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
+		return 0, nil, 0, nil, &ConfigError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
 	}
 	if opts.Capacity == 0 {
 		if m.multiHopMsg >= 0 {
-			return 0, nil, 0, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf(
+			return 0, nil, 0, nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf(
 				"capacity 0 (latch) supports single-hop routes only; message %s crosses %d links",
 				m.prog.Message(m.multiHopMsg).Name, len(m.routes[m.multiHopMsg]))}
 		}
 		if opts.ExtCapacity > 0 {
-			return 0, nil, 0, &ConfigError{Field: "ExtCapacity", Reason: "queue extension requires base capacity ≥ 1"}
+			return 0, nil, 0, nil, &ConfigError{Field: "ExtCapacity", Reason: "queue extension requires base capacity ≥ 1"}
 		}
+	}
+	if opts.Faults != nil {
+		if ferr := opts.Faults.Validate(m.prog.NumCells(), len(m.links)); ferr != nil {
+			return 0, nil, 0, nil, &ConfigError{Field: "Faults", Reason: ferr.Error()}
+		}
+		flt = fault.Lower(opts.Faults, m.prog.NumCells(), len(m.links))
 	}
 	if opts.Logic == nil {
 		opts.Logic = SyntheticLogic{}
@@ -470,7 +492,18 @@ func (m *Machine) prepare(opts *ExecOptions) (maxCycles int, tbl *poolTable, fla
 	if maxCycles <= 0 {
 		maxCycles, err = maxCyclesFor(m.totalWords, m.totalHops)
 		if err != nil {
-			return 0, nil, 0, err
+			return 0, nil, 0, nil, err
+		}
+		if flt != nil {
+			// A factor-k slowdown stretches any schedule by at most k,
+			// so the derived bound scales by the largest factor; a
+			// user-set MaxCycles is never second-guessed.
+			scaled, ok := flt.ScaleCycles(maxCycles)
+			if !ok {
+				return 0, nil, 0, nil, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf(
+					"derived cycle bound %d×%d (fault slowdown) overflows int; set MaxCycles explicitly", maxCycles, flt.MaxFactor())}
+			}
+			maxCycles = scaled
 		}
 	}
 	tbl = &m.shared
@@ -478,14 +511,14 @@ func (m *Machine) prepare(opts *ExecOptions) (maxCycles int, tbl *poolTable, fla
 		tbl = &m.directional
 		flavor = 1
 	}
-	return maxCycles, tbl, flavor, nil
+	return maxCycles, tbl, flavor, flt, nil
 }
 
 // runExec drives one prepared run on e: init, policy setup, the
 // scheduler loop. On success the caller harvests e.result(); on error
 // e holds no live gang and can be released or reused.
-func (m *Machine) runExec(e *exec, opts *ExecOptions, tbl *poolTable, flavor, maxCycles int) error {
-	e.init(m, opts, tbl, flavor)
+func (m *Machine) runExec(e *exec, opts *ExecOptions, tbl *poolTable, flavor, maxCycles int, flt *fault.Lowered) error {
+	e.init(m, opts, tbl, flavor, flt)
 	e.ctx = assign.Context{
 		Program:         m.prog,
 		Routes:          m.routes,
@@ -511,13 +544,13 @@ func (m *Machine) runExec(e *exec, opts *ExecOptions, tbl *poolTable, flavor, ma
 // configuration problems; run-time deadlock is a Result, not an
 // error. Run is safe for concurrent use.
 func (m *Machine) Run(opts ExecOptions) (*Result, error) {
-	maxCycles, tbl, flavor, err := m.prepare(&opts)
+	maxCycles, tbl, flavor, flt, err := m.prepare(&opts)
 	if err != nil {
 		return nil, err
 	}
 	pool := m.execs.Load()
 	e := pool.Get().(*exec)
-	if err := m.runExec(e, &opts, tbl, flavor, maxCycles); err != nil {
+	if err := m.runExec(e, &opts, tbl, flavor, maxCycles, flt); err != nil {
 		e.release()
 		pool.Put(e)
 		return nil, err

@@ -130,6 +130,7 @@ type sink struct {
 	remainingDelta int
 	wordsMoved     int
 	releases       int
+	gated          int
 	anyEvent       bool
 }
 
@@ -151,6 +152,7 @@ func (sk *sink) reset() {
 	sk.remainingDelta = 0
 	sk.wordsMoved = 0
 	sk.releases = 0
+	sk.gated = 0
 	sk.anyEvent = false
 }
 
@@ -280,6 +282,7 @@ func (e *exec) mergeSinks() {
 		}
 		e.remaining += sk.remainingDelta
 		e.stats.WordsMoved += sk.wordsMoved
+		e.stats.GatedOps += sk.gated
 		if sk.anyEvent {
 			e.moved = true
 		}

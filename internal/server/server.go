@@ -39,6 +39,7 @@ import (
 
 	"systolic/internal/core"
 	"systolic/internal/dsl"
+	"systolic/internal/fault"
 	"systolic/internal/machine"
 	"systolic/internal/model"
 	"systolic/internal/sweep"
@@ -347,6 +348,10 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 	if req.Workers < 0 {
 		return badRequest(fmt.Errorf("negative workers %d (0 = single-threaded)", req.Workers))
 	}
+	plan, err := fault.ParseSpec(req.Faults)
+	if err != nil {
+		return badRequest(err)
+	}
 	e, cached, err := s.lookup(req.Program, runKey(req.Analyze))
 	if err != nil {
 		return err
@@ -385,6 +390,7 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 		MaxCycles:     req.MaxCycles,
 		Force:         req.Force,
 		Workers:       workers,
+		Faults:        plan,
 		// A dropped client cancels its simulation between cycles
 		// instead of burning the slot to completion.
 		Context: ctx,
@@ -405,6 +411,8 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 		desc := machine.DescribeBlocked(a.Program, res.Blocked)
 		resp.Blocked = strings.Split(strings.TrimRight(desc, "\n"), "\n")
 	}
+	resp.Faults = res.Faults
+	resp.GatedOps = res.Stats.GatedOps
 	return nil
 }
 
@@ -590,6 +598,16 @@ func (s *Server) prepareSweep(req *SweepRequest, axes sweep.Axes, maxCycles int)
 		}
 		prog, topo = f.Program, f.Topology
 	}
+	// Faults are validated against the program before any streaming
+	// commitment: an ill-fitting plan refuses the whole sweep with 400
+	// instead of surfacing as an identical error on every grid point.
+	plan, err := fault.ParseSpec(req.Faults)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if err := plan.Validate(prog.NumCells(), len(topo.Links())); err != nil {
+		return nil, badRequest(err)
+	}
 	return &sweepJob{
 		cases: []sweep.Case{{Name: "program", Program: prog, Topology: topo}},
 		axes:  axes,
@@ -597,6 +615,7 @@ func (s *Server) prepareSweep(req *SweepRequest, axes sweep.Axes, maxCycles int)
 			Workers:    req.Workers,
 			RunWorkers: req.RunWorkers,
 			MaxCycles:  maxCycles,
+			Faults:     plan,
 			Limiter:    s.limiter,
 			Analysis: func(_, lookahead int) (*core.Analysis, error) {
 				r := res[lookahead]

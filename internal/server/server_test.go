@@ -293,6 +293,127 @@ func TestRunReportsDeadlock(t *testing.T) {
 	}
 }
 
+// TestRunEndpointFaults: the run endpoint's faults field degrades the
+// array — a periodic plan completes late but completes, the response
+// echoes the active faults and the gated-operation count, and bad
+// specs are 400s. A factor-1 plan must answer byte-identically to no
+// plan at all (modulo the response ID).
+func TestRunEndpointFaults(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{
+		Program: relayDSL, Faults: "cell:1:slow=2,link:0:slow=3@4",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var faulted RunResponse
+	if err := json.Unmarshal(body, &faulted); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if faulted.Outcome != "completed" {
+		t.Fatalf("periodic faults should only delay, got %q", faulted.Outcome)
+	}
+	if want := []string{"cell:1:slow=2", "link:0:slow=3@4"}; !reflect.DeepEqual(faulted.Faults, want) {
+		t.Fatalf("faults echoed as %v, want %v", faulted.Faults, want)
+	}
+	if faulted.GatedOps == 0 {
+		t.Fatal("degraded run reports zero gated operations")
+	}
+
+	_, clean := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: relayDSL})
+	_, noop := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: relayDSL, Faults: "cell:0:slow=1"})
+	var cr, nr RunResponse
+	if err := json.Unmarshal(clean, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := json.Unmarshal(noop, &nr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	cr.ID, nr.ID = "", ""
+	if !reflect.DeepEqual(cr, nr) {
+		t.Fatalf("factor-1 plan changed the response:\n%+v\nvs\n%+v", cr, nr)
+	}
+	if cr.Cycles >= faulted.Cycles {
+		t.Fatalf("slowdown did not slow the run: clean %d cycles, faulted %d", cr.Cycles, faulted.Cycles)
+	}
+
+	if resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: relayDSL, Faults: "cell:0:melted"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed spec: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: relayDSL, Faults: "cell:99:dead"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ill-fitting plan: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestRunEndpointDeadCellDeadlocks: a dead cell mid-relay starves its
+// consumer — the run deadlocks and the blocked report names the stall.
+func TestRunEndpointDeadCellDeadlocks(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{
+		Program: relayDSL, Faults: "cell:1:dead",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rr.Outcome != "deadlocked" {
+		t.Fatalf("dead relay cell should deadlock the run, got %q", rr.Outcome)
+	}
+	if len(rr.Blocked) == 0 {
+		t.Fatal("deadlocked run reports no blocked cells")
+	}
+	if want := []string{"cell:1:dead"}; !reflect.DeepEqual(rr.Faults, want) {
+		t.Fatalf("faults echoed as %v, want %v", rr.Faults, want)
+	}
+}
+
+// TestSweepEndpointFaults: the sweep endpoint's faults field degrades
+// every grid point, and ill-fitting plans refuse the whole sweep with
+// 400 before any streaming commitment.
+func TestSweepEndpointFaults(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := SweepRequest{
+		Program:    relayDSL,
+		Policies:   []string{"compatible"},
+		Queues:     []int{2},
+		Capacities: []int{1},
+		Lookaheads: []int{0},
+		Seed:       1,
+	}
+	_, clean := postJSON(t, ts.URL+"/v1/sweep", req)
+	req.Faults = "cell:1:slow=3"
+	resp, faulted := postJSON(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, faulted)
+	}
+	var cr, fr SweepResponse
+	if err := json.Unmarshal(clean, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := json.Unmarshal(faulted, &fr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(fr.Outcomes) != 1 || fr.Outcomes[0].Result != "completed" {
+		t.Fatalf("faulted sweep outcomes: %+v", fr.Outcomes)
+	}
+	if cr.Outcomes[0].Cycles >= fr.Outcomes[0].Cycles {
+		t.Fatalf("slowdown did not slow the grid point: clean %d cycles, faulted %d",
+			cr.Outcomes[0].Cycles, fr.Outcomes[0].Cycles)
+	}
+
+	req.Faults = "cell:99:dead"
+	if resp, body := postJSON(t, ts.URL+"/v1/sweep", req); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ill-fitting plan: status %d: %s", resp.StatusCode, body)
+	}
+	req.Faults = "link:0:dead"
+	if resp, body := postJSON(t, ts.URL+"/v1/sweep", req); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed spec: status %d: %s", resp.StatusCode, body)
+	}
+}
+
 func TestSweepEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{

@@ -69,6 +69,11 @@ type RunRequest struct {
 	// the shared -max-concurrency budget has free, so a saturated
 	// daemon degrades the shard count, never the result.
 	Workers int `json:"workers,omitempty"`
+	// Faults degrades the array for this run, in the fault-spec
+	// grammar the CLI's -fault flag shares, e.g.
+	// "cell:1:slow=2,link:0:sever@9". Empty runs the perfect array.
+	// Faults are per-run, not part of the cached analysis.
+	Faults string `json:"faults,omitempty"`
 }
 
 // RunResponse is the body returned by POST /v1/run.
@@ -85,6 +90,11 @@ type RunResponse struct {
 	// Blocked describes stuck cells when Outcome is "deadlocked", one
 	// line per cell.
 	Blocked []string `json:"blocked,omitempty"`
+	// Faults lists the run's active faults in canonical spec form;
+	// GatedOps counts operations delayed by a fault gate. Both are
+	// omitted for fault-free runs.
+	Faults   []string `json:"faults,omitempty"`
+	GatedOps int      `json:"gatedOps,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep. Empty axes take the
@@ -106,6 +116,10 @@ type SweepRequest struct {
 	// slot, so saturation degrades shard counts, never results.
 	RunWorkers int `json:"run_workers,omitempty"`
 	MaxCycles  int `json:"maxCycles,omitempty"`
+	// Faults degrades every grid point with one fault plan, in the
+	// same spec grammar as the run endpoint. A plan that does not fit
+	// the program is refused with 400 up front.
+	Faults string `json:"faults,omitempty"`
 }
 
 // SweepOutcome is one grid point of a SweepResponse.

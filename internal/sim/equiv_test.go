@@ -24,20 +24,29 @@ import (
 	"testing"
 
 	"systolic/internal/assign"
+	"systolic/internal/fault"
 	"systolic/internal/gen"
 	"systolic/internal/label"
 )
 
-// equivCase is one (scenario seed, generation knobs) input.
+// equivCase is one (scenario seed, generation knobs) input. faultClass
+// selects a degraded-array regime: 0 runs the perfect array, 1 a
+// seeded periodic-only fault plan, 2 a seeded plan with terminal
+// faults (dead cells / severed links) allowed.
 type equivCase struct {
-	seed      int64
-	mutations int
-	cyclic    bool
+	seed       int64
+	mutations  int
+	cyclic     bool
+	faultClass int
 }
 
 // corpusCases parses the native fuzz corpus checked in for the
 // differential oracle, so the machines are compared on exactly the
-// seeds the fuzzer found interesting.
+// seeds the fuzzer found interesting. Corpus entries carry three byte
+// knobs positionally — mutations, workload family, fault class; the
+// family byte is oracle-only (the family generators are verified in
+// internal/workload and cannot be imported here without a cycle), the
+// other two replay.
 func corpusCases(t *testing.T) []equivCase {
 	t.Helper()
 	dir := filepath.Join("..", "diff", "testdata", "fuzz", "FuzzOracle")
@@ -52,6 +61,7 @@ func corpusCases(t *testing.T) []equivCase {
 			t.Fatal(err)
 		}
 		var c equivCase
+		var bytes []int
 		for _, line := range strings.Split(string(data), "\n") {
 			line = strings.TrimSpace(line)
 			switch {
@@ -66,10 +76,16 @@ func corpusCases(t *testing.T) []equivCase {
 				if err != nil {
 					t.Fatalf("%s: %v", ent.Name(), err)
 				}
-				c.mutations = int(n % 8)
+				bytes = append(bytes, int(n))
 			case strings.HasPrefix(line, "bool("):
 				c.cyclic = line == "bool(true)"
 			}
+		}
+		if len(bytes) > 0 {
+			c.mutations = bytes[0] % 8
+		}
+		if len(bytes) > 2 {
+			c.faultClass = bytes[2] % 3
 		}
 		out = append(out, c)
 	}
@@ -80,11 +96,17 @@ func corpusCases(t *testing.T) []equivCase {
 }
 
 // generatedCases derives 200 deterministic scenarios spanning clean,
-// mutated (deadlocking), and cyclic programs.
+// mutated (deadlocking), and cyclic programs; half of them run
+// degraded (alternating periodic-only and terminal fault plans).
 func generatedCases() []equivCase {
 	out := make([]equivCase, 0, 200)
 	for i := int64(1); i <= 200; i++ {
-		out = append(out, equivCase{seed: i, mutations: int(i % 5), cyclic: i%3 == 0})
+		out = append(out, equivCase{
+			seed:       i,
+			mutations:  int(i % 5),
+			cyclic:     i%3 == 0,
+			faultClass: int(i % 4 % 3), // 0,1,2,0,0,1,2,0,…
+		})
 	}
 	return out
 }
@@ -172,12 +194,22 @@ func runEquivCase(t *testing.T, ec equivCase) bool {
 	} else {
 		labels = label.Trivial(p).Dense
 	}
+	// Degraded replays: the seeded fault plan gates both engines at
+	// identical points, so every comparison below — reference vs
+	// machine vs every worker count — must stay byte-identical on the
+	// faulted array too.
+	var plan *fault.Plan
+	if ec.faultClass != 0 {
+		plan = gen.RandomFaults(ec.seed, p.NumCells(), len(sc.Topology.Links()),
+			gen.FaultOptions{PeriodicOnly: ec.faultClass == 1})
+	}
 	for i, cfg := range equivConfigs(labels) {
 		cfg.Topology = sc.Topology
+		cfg.Faults = plan
 		ref, refErr := referenceRun(p, freshPolicy(cfg))
 		got, gotErr := Run(p, freshPolicy(cfg))
-		name := fmt.Sprintf("seed=%d mut=%d cyclic=%v cfg=%d (%s q=%d cap=%d dir=%v)",
-			ec.seed, ec.mutations, ec.cyclic, i, cfg.Policy.Name(), cfg.QueuesPerLink, cfg.Capacity, cfg.DirectionalPools)
+		name := fmt.Sprintf("seed=%d mut=%d cyclic=%v faults=%d cfg=%d (%s q=%d cap=%d dir=%v)",
+			ec.seed, ec.mutations, ec.cyclic, ec.faultClass, i, cfg.Policy.Name(), cfg.QueuesPerLink, cfg.Capacity, cfg.DirectionalPools)
 		if (refErr != nil) != (gotErr != nil) {
 			t.Fatalf("%s: reference err=%v, machine err=%v", name, refErr, gotErr)
 		}

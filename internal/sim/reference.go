@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"systolic/internal/assign"
+	"systolic/internal/fault"
 	"systolic/internal/model"
 	"systolic/internal/queue"
 	"systolic/internal/topology"
@@ -70,6 +71,12 @@ type runner struct {
 	issued   []bool
 
 	received [][]Word // escapes into Result; fresh per run
+
+	// faults holds the run's lowered fault tables; nil when fault-free.
+	// The gates sit at the same four operation-issue sites as the
+	// compiled machine's, each checked after every fault-free readiness
+	// criterion, keeping the engines byte-identical under degradation.
+	faults *fault.Lowered
 
 	res   Result
 	stats Stats
@@ -157,13 +164,22 @@ func referenceRun(p *model.Program, cfg Config) (*Result, error) {
 			return nil, &ConfigError{Field: "ExtCapacity", Reason: "queue extension requires base capacity ≥ 1"}
 		}
 	}
+	links := cfg.Topology.Links()
+	var flt *fault.Lowered
+	if cfg.Faults != nil {
+		if ferr := cfg.Faults.Validate(p.NumCells(), len(links)); ferr != nil {
+			return nil, &ConfigError{Field: "Faults", Reason: ferr.Error()}
+		}
+		flt = fault.Lower(cfg.Faults, p.NumCells(), len(links))
+	}
 	logic := cfg.Logic
 	if logic == nil {
 		logic = SyntheticLogic{}
 	}
 
 	r := runnerPool.Get().(*runner)
-	r.p, r.cfg, r.logic, r.routes, r.links = p, cfg, logic, routes, cfg.Topology.Links()
+	r.p, r.cfg, r.logic, r.routes, r.links = p, cfg, logic, routes, links
+	r.faults = flt
 	r.setup()
 
 	// Competing sets are keyed by pool: the whole link under the
@@ -190,6 +206,18 @@ func referenceRun(p *model.Program, cfg Config) (*Result, error) {
 	maxCycles := cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = defaultMaxCycles(p, routes)
+		if flt != nil {
+			// Same scaling as the compiled machine: the derived bound
+			// stretches by the largest periodic factor, and a user-set
+			// MaxCycles is never second-guessed.
+			scaled, ok := flt.ScaleCycles(maxCycles)
+			if !ok {
+				r.release()
+				return nil, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf(
+					"derived cycle bound %d×%d (fault slowdown) overflows int; set MaxCycles explicitly", maxCycles, flt.MaxFactor())}
+			}
+			maxCycles = scaled
+		}
 	}
 	for r.now = 0; r.now < maxCycles; r.now++ {
 		if r.done() {
@@ -202,7 +230,10 @@ func referenceRun(p *model.Program, cfg Config) (*Result, error) {
 		r.cellAndTransferPhase()
 		r.releasePhase()
 		r.accountBlocked()
-		if !r.moved && !r.anyCooling() {
+		if !r.moved && !r.anyCooling() && (r.faults == nil || r.faults.AllPeriodicOpen(r.now)) {
+			// A no-event cycle proves deadlock only if every periodic
+			// fault gate was open (dead/severed elements never reopen
+			// and are rightly excluded) — same rule as the machine.
 			r.res.Deadlocked = true
 			r.res.Blocked = r.blockedReport()
 			break
@@ -214,6 +245,9 @@ func referenceRun(p *model.Program, cfg Config) (*Result, error) {
 	}
 	r.res.Cycles = r.now
 	r.res.Received = r.received
+	if r.faults != nil {
+		r.res.Faults = r.faults.Descriptions()
+	}
 	r.stats.Cycles = r.now
 	r.stats.Queues = make([]QueueStat, 0, len(r.queues))
 	for i := range r.queues {
@@ -237,6 +271,7 @@ func (r *runner) release() {
 	r.p, r.logic, r.routes, r.links = nil, nil, nil, nil
 	r.cfg = Config{}
 	r.received = nil
+	r.faults = nil
 	r.res = Result{}
 	r.stats = Stats{}
 	for i := range r.msgs {
@@ -486,6 +521,10 @@ func (r *runner) cellAndTransferPhase() {
 		if !qi.q.FrontReady() {
 			continue
 		}
+		if r.faults != nil && !r.faults.CellOpen(cell, r.now) {
+			r.stats.GatedOps++
+			continue
+		}
 		w := qi.q.Pop()
 		r.logic.OnRead(cell, op.Msg, ms.read, w)
 		r.received[op.Msg] = append(r.received[op.Msg], w)
@@ -505,6 +544,10 @@ func (r *runner) cellAndTransferPhase() {
 				continue
 			}
 			if src.q.FrontReady() && dst.q.CanAccept() {
+				if r.faults != nil && !r.faults.LinkOpen(ms.route[hop+1].Link, r.now) {
+					r.stats.GatedOps++
+					continue
+				}
 				dst.q.Push(src.q.Pop())
 				ms.departed[hop]++
 				r.moved = true
@@ -534,6 +577,10 @@ func (r *runner) cellAndTransferPhase() {
 		}
 		qi := ms.queues[0]
 		if !qi.q.CanAccept() {
+			continue
+		}
+		if r.faults != nil && (!r.faults.CellOpen(cell, r.now) || !r.faults.LinkOpen(ms.route[0].Link, r.now)) {
+			r.stats.GatedOps++
 			continue
 		}
 		qi.q.Push(r.logic.Produce(cell, op.Msg, ms.written))
@@ -567,6 +614,12 @@ func (r *runner) rendezvous() {
 			continue
 		}
 		if rOp.Kind != model.Read || rOp.Msg != model.MessageID(id) {
+			continue
+		}
+		if r.faults != nil && (!r.faults.CellOpen(m.Sender, r.now) ||
+			!r.faults.CellOpen(m.Receiver, r.now) ||
+			!r.faults.LinkOpen(ms.route[0].Link, r.now)) {
+			r.stats.GatedOps++
 			continue
 		}
 		w := r.logic.Produce(m.Sender, m.ID, ms.written)

@@ -23,6 +23,7 @@ package sim
 
 import (
 	"systolic/internal/assign"
+	"systolic/internal/fault"
 	"systolic/internal/machine"
 	"systolic/internal/model"
 	"systolic/internal/queue"
@@ -110,6 +111,10 @@ type Config struct {
 	// single-threaded). Results are byte-identical for every worker
 	// count; see machine.ExecOptions.Workers.
 	Workers int
+	// Faults degrades the array for this run (slowed/dead cells,
+	// throttled/severed links); nil runs the perfect array. See
+	// internal/fault and machine.ExecOptions.Faults.
+	Faults *fault.Plan
 }
 
 // Run simulates the program to completion, deadlock, or the cycle
@@ -145,6 +150,7 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 		MaxCycles:        cfg.MaxCycles,
 		RecordTimeline:   cfg.RecordTimeline,
 		Workers:          cfg.Workers,
+		Faults:           cfg.Faults,
 	})
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"systolic/internal/core"
+	"systolic/internal/fault"
 	"systolic/internal/model"
 	"systolic/internal/sim"
 	"systolic/internal/topology"
@@ -212,6 +213,12 @@ type Options struct {
 	// MaxCycles bounds each simulation (0 = the simulator's derived
 	// default).
 	MaxCycles int
+	// Faults, when non-nil, degrades the array for every grid point
+	// (see internal/fault): the whole sweep runs on the same faulted
+	// array, so the grid shows which configurations ride out the
+	// degradation. Plans that do not fit a case's cell/link counts
+	// surface as per-point errors.
+	Faults *fault.Plan
 	// Limiter, when non-nil, additionally gates every grid point on a
 	// process-wide concurrency budget shared with other engines (the
 	// serving layer passes its -max-concurrency limiter here, so
@@ -514,6 +521,7 @@ func runOne(ctx context.Context, c Case, cfg Config, a *core.Analysis, aerr erro
 		Seed:          cfg.Seed,
 		MaxCycles:     opts.MaxCycles,
 		Workers:       workers,
+		Faults:        opts.Faults,
 		// Context threads the sweep's cancellation into the run itself:
 		// without it a cancelled caller (a dropped /v1/sweep client)
 		// only stops unstarted grid points while every in-flight

@@ -13,11 +13,38 @@ import (
 	"time"
 
 	"systolic/internal/core"
+	"systolic/internal/fault"
 	"systolic/internal/gen"
 	"systolic/internal/model"
 	"systolic/internal/topology"
 	"systolic/internal/workload"
 )
+
+// familyWorkload mirrors the oracle's family knob (internal/diff
+// fuzzScenario): sizes derive from the seed the same way, so corpus
+// entries replay the exact operator graph the fuzzer exercised.
+// Returns nil when the derived sizes are impossible.
+func familyWorkload(seed int64, family uint8) *workload.Workload {
+	mod := func(m uint64) int { return int(uint64(seed) % m) }
+	var w *workload.Workload
+	var err error
+	switch family {
+	case 1:
+		w, err = workload.Attention(workload.AttentionOptions{Tokens: 2 + mod(9), Experts: 1 + mod(4)})
+	case 2:
+		w, err = workload.Stencil(workload.StencilOptions{Rows: 2 + mod(3), Cols: 2 + mod(4), Iters: 1 + mod(3)})
+	case 3:
+		w, err = workload.FFT(workload.FFTOptions{LogN: 1 + mod(4)})
+	case 4:
+		w, err = workload.PipelinedSort(workload.PipelinedSortOptions{Width: 2 + mod(10), Rounds: 1 + mod(6)})
+	default:
+		return nil
+	}
+	if err != nil {
+		return nil
+	}
+	return w
+}
 
 func testCases() []Case {
 	f7 := workload.Fig7(workload.Fig7Options{})
@@ -346,11 +373,14 @@ func fuzzCorpusCases(t *testing.T) []Case {
 			t.Fatalf("reading corpus entry %s: %v", e.Name(), err)
 		}
 		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
-		if len(lines) != 4 || lines[0] != "go test fuzz v1" {
+		// Layout: header, int64 seed, byte mutations, bool cyclic,
+		// byte family, byte fault class (the class knob only matters
+		// to the oracle's degraded checks, not to case construction).
+		if len(lines) != 6 || lines[0] != "go test fuzz v1" {
 			t.Fatalf("corpus entry %s: unexpected layout %q", e.Name(), lines)
 		}
 		var seed int64
-		var mutations uint8
+		var mutations, family uint8
 		if _, err := fmt.Sscanf(lines[1], "int64(%d)", &seed); err != nil {
 			t.Fatalf("corpus entry %s: %v", e.Name(), err)
 		}
@@ -358,6 +388,20 @@ func fuzzCorpusCases(t *testing.T) []Case {
 			t.Fatalf("corpus entry %s: %v", e.Name(), err)
 		}
 		cyclic := strings.Contains(lines[3], "true")
+		if _, err := fmt.Sscanf(lines[4], "byte(0x%x)", &family); err != nil {
+			t.Fatalf("corpus entry %s: %v", e.Name(), err)
+		}
+		if family%5 != 0 {
+			// Workload-family entries: the generated operator graphs
+			// (attention, stencil, FFT, pipelined sort), mirroring the
+			// oracle's family knob so the batched driver replays them.
+			w := familyWorkload(seed, family%5)
+			if w == nil {
+				continue
+			}
+			cases = append(cases, Case{Name: "corpus/" + e.Name(), Program: w.Program, Topology: w.Topology})
+			continue
+		}
 		sc, err := gen.Generate(seed, gen.Options{Mutations: int(mutations % 8), Cyclic: cyclic})
 		if err != nil {
 			continue // impossible knobs, same as the fuzz target's skip
@@ -427,6 +471,61 @@ func TestBatchedMatchesPerPoint(t *testing.T) {
 				}
 			}
 			t.Fatalf("workers=%d: reports diverge outside the outcome list", workers)
+		}
+	}
+}
+
+// TestBatchedMatchesPerPointFaulted extends the acceptance criterion
+// to degraded arrays: under a fault plan of every class — periodic
+// cell slowdown, dead cell, throttled link, severed link — the
+// batched driver and the per-point baseline must still be
+// byte-identical at 1 sweep worker and at 4. Cell 0 and link 0 exist
+// in every case, so the plans fit the whole grid.
+func TestBatchedMatchesPerPointFaulted(t *testing.T) {
+	scenarios := 60
+	if testing.Short() {
+		scenarios = 20
+	}
+	cases := append(fuzzCorpusCases(t), generatedCases(t, scenarios)...)
+	axes := Axes{
+		Policies:   []core.PolicyKind{core.NaiveFCFS, core.DynamicCompatible},
+		Queues:     []int{0, 2},
+		Capacities: []int{1},
+		Lookaheads: []int{0},
+		Seed:       11,
+	}
+	plans := []struct {
+		name string
+		spec string
+	}{
+		{"periodic", "cell:0:slow=2,link:0:slow=3@5"},
+		{"terminal", "cell:0:dead@6,link:0:sever@9"},
+	}
+	for _, pl := range plans {
+		plan, err := fault.ParseSpec(pl.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			opts := Options{Workers: workers, Faults: plan}
+			batched, err := Run(context.Background(), cases, axes, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d batched: %v", pl.name, workers, err)
+			}
+			opts.PerPoint = true
+			perPoint, err := Run(context.Background(), cases, axes, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d per-point: %v", pl.name, workers, err)
+			}
+			if !reflect.DeepEqual(batched, perPoint) {
+				for i := range batched.Outcomes {
+					if !reflect.DeepEqual(batched.Outcomes[i], perPoint.Outcomes[i]) {
+						t.Fatalf("%s workers=%d: grid point %d diverges:\nbatched:   %+v\nper-point: %+v",
+							pl.name, workers, i, batched.Outcomes[i], perPoint.Outcomes[i])
+					}
+				}
+				t.Fatalf("%s workers=%d: reports diverge outside the outcome list", pl.name, workers)
+			}
 		}
 	}
 }

@@ -1,0 +1,187 @@
+package verify
+
+// Degraded-array analysis: which of Theorem 1's queue guarantees
+// survive each fault in a plan. The theorem is proved for a perfect
+// array; a degraded array splits into two regimes:
+//
+//   - Periodic faults (a slowed cell, a throttled link) only delay
+//     operations — every gate reopens infinitely often, so any
+//     schedule that completes on the perfect array completes on the
+//     degraded one, merely stretched. Theorem 1's budgets carry over
+//     unchanged, and the differential oracle's degraded-completion
+//     invariant exercises exactly this claim.
+//
+//   - Terminal faults (a dead cell, a severed link) remove progress.
+//     Messages depending on the dead element can never finish, and the
+//     stall propagates through program order: once a cell blocks on an
+//     affected message, every later operation of that cell is stuck
+//     too. The theorem's guarantee is gone for the affected set; for
+//     the surviving traffic the queue bounds are recomputed with the
+//     affected routes removed.
+
+import (
+	"systolic/internal/fault"
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// Fault class names reported by DegradedBudgets.
+const (
+	ClassSlowCell    = "slow-cell"
+	ClassDeadCell    = "dead-cell"
+	ClassSlowLink    = "degraded-link"
+	ClassSeveredLink = "severed-link"
+)
+
+// FaultImpact reports one fault's effect on Theorem 1's guarantees,
+// evaluated independently of the plan's other faults and of the
+// fault's effective-from cycle (the conservative, steady-state view).
+type FaultImpact struct {
+	// Fault is the fault in canonical spec form (see fault.ParseSpec).
+	Fault string
+	// Class is one of the Class* constants.
+	Class string
+	// GuaranteeHolds reports whether Theorem 1's completion guarantee
+	// survives: always true for periodic faults (delay only), and true
+	// for terminal faults only when no message depends on the dead
+	// element.
+	GuaranteeHolds bool
+	// AffectedMessages lists, ascending: for periodic faults, the
+	// messages the fault directly delays; for terminal faults, the
+	// closure of messages that can never complete (direct dependents
+	// plus everything stalled behind them in program order).
+	AffectedMessages []model.MessageID
+	// MinQueuesDynamic and MinQueuesStatic are the Theorem 1 budgets
+	// that survive the fault: unchanged for periodic faults,
+	// recomputed over the unaffected traffic for terminal ones.
+	MinQueuesDynamic int
+	MinQueuesStatic  int
+}
+
+// DegradedBudgets evaluates each fault of plan against a labeled,
+// routed program: p's per-cell programs drive the stall-propagation
+// closure, routes and the dense labeling drive the recomputed queue
+// bounds. A nil or no-op plan yields no impacts. The result is
+// deterministic: plan order, with ascending message lists.
+func DegradedBudgets(p *model.Program, routes [][]topology.Hop, dense []int, plan *fault.Plan) []FaultImpact {
+	if plan.IsNoop() {
+		return nil
+	}
+	var out []FaultImpact
+	for _, c := range plan.Cells {
+		if !c.Dead && c.Factor <= 1 {
+			continue
+		}
+		spec := (&fault.Plan{Cells: []fault.CellFault{c}}).String()
+		direct := func(id model.MessageID) bool {
+			m := p.Message(id)
+			return m.Sender == c.Cell || m.Receiver == c.Cell
+		}
+		if c.Dead {
+			out = append(out, terminalImpact(p, routes, dense, spec, ClassDeadCell, direct))
+		} else {
+			out = append(out, periodicImpact(p, routes, dense, spec, ClassSlowCell, direct))
+		}
+	}
+	for _, l := range plan.Links {
+		if !l.Severed && l.Factor <= 1 {
+			continue
+		}
+		spec := (&fault.Plan{Links: []fault.LinkFault{l}}).String()
+		direct := func(id model.MessageID) bool {
+			for _, h := range routes[id] {
+				if h.Link == l.Link {
+					return true
+				}
+			}
+			return false
+		}
+		if l.Severed {
+			out = append(out, terminalImpact(p, routes, dense, spec, ClassSeveredLink, direct))
+		} else {
+			out = append(out, periodicImpact(p, routes, dense, spec, ClassSlowLink, direct))
+		}
+	}
+	return out
+}
+
+// periodicImpact reports a delay-only fault: the guarantee holds, the
+// budgets are the perfect-array budgets, and the affected list is the
+// directly delayed messages.
+func periodicImpact(p *model.Program, routes [][]topology.Hop, dense []int, spec, class string, direct func(model.MessageID) bool) FaultImpact {
+	var affected []model.MessageID
+	for id := 0; id < p.NumMessages(); id++ {
+		if direct(model.MessageID(id)) {
+			affected = append(affected, model.MessageID(id))
+		}
+	}
+	rep := CheckPreconditionsRoutes(routes, dense, 1<<30)
+	return FaultImpact{
+		Fault:            spec,
+		Class:            class,
+		GuaranteeHolds:   true,
+		AffectedMessages: affected,
+		MinQueuesDynamic: rep.MaxGroup,
+		MinQueuesStatic:  rep.MaxCompeting,
+	}
+}
+
+// terminalImpact reports a progress-removing fault: the affected set
+// is the stall closure of the direct dependents, and the budgets are
+// recomputed with the affected messages' routes removed (their queue
+// competition disappears with them — a dead message never binds a
+// queue for long enough to matter under the conservative view, and
+// what remains is the traffic the theorem can still speak for).
+func terminalImpact(p *model.Program, routes [][]topology.Hop, dense []int, spec, class string, direct func(model.MessageID) bool) FaultImpact {
+	affected := make([]bool, p.NumMessages())
+	for id := range affected {
+		affected[id] = direct(model.MessageID(id))
+	}
+	stallClosure(p, affected)
+
+	var list []model.MessageID
+	surviving := make([][]topology.Hop, len(routes))
+	copy(surviving, routes)
+	for id, bad := range affected {
+		if bad {
+			list = append(list, model.MessageID(id))
+			surviving[id] = nil
+		}
+	}
+	rep := CheckPreconditionsRoutes(surviving, dense, 1<<30)
+	return FaultImpact{
+		Fault:            spec,
+		Class:            class,
+		GuaranteeHolds:   len(list) == 0,
+		AffectedMessages: list,
+		MinQueuesDynamic: rep.MaxGroup,
+		MinQueuesStatic:  rep.MaxCompeting,
+	}
+}
+
+// stallClosure propagates the affected set through program order to a
+// fixpoint: a cell whose front reaches an operation on an affected
+// message may stall there forever, so every later operation of that
+// cell — and thus its messages — is affected too. This is the
+// conservative closure: an affected W can in fact complete while
+// queue capacity lasts, but nothing after the queue fills is
+// guaranteed, which is exactly what "the guarantee survives" must
+// exclude.
+func stallClosure(p *model.Program, affected []bool) {
+	for changed := true; changed; {
+		changed = false
+		for c := 0; c < p.NumCells(); c++ {
+			code := p.Code(model.CellID(c))
+			hit := false
+			for _, op := range code {
+				if hit && !affected[op.Msg] {
+					affected[op.Msg] = true
+					changed = true
+				}
+				if !hit && affected[op.Msg] {
+					hit = true
+				}
+			}
+		}
+	}
+}

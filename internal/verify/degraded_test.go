@@ -1,0 +1,160 @@
+package verify
+
+import (
+	"reflect"
+	"testing"
+
+	"systolic/internal/fault"
+	"systolic/internal/label"
+	"systolic/internal/model"
+	"systolic/internal/topology"
+)
+
+// degradedFixture builds a 4-cell pipeline C1→C2→C3→C4 with messages
+// A: C1→C2, B: C2→C3, C: C3→C4 (sequential history, so deadlock-free
+// and trivially labeled) and returns everything DegradedBudgets needs.
+func degradedFixture(t *testing.T) (*model.Program, [][]topology.Hop, []int) {
+	t.Helper()
+	b := model.NewBuilder()
+	cells := b.AddCells("C", 4)
+	a := b.DeclareMessage("A", cells[0], cells[1], 1)
+	bb := b.DeclareMessage("B", cells[1], cells[2], 1)
+	c := b.DeclareMessage("C", cells[2], cells[3], 1)
+	b.Write(cells[0], a)
+	b.Read(cells[1], a)
+	b.Write(cells[1], bb)
+	b.Read(cells[2], bb)
+	b.Write(cells[2], c)
+	b.Read(cells[3], c)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.Linear(4)
+	routes, err := topology.Routes(p, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := label.Assign(p, label.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, routes, lab.Dense
+}
+
+func TestDegradedBudgetsNoopPlan(t *testing.T) {
+	p, routes, dense := degradedFixture(t)
+	if got := DegradedBudgets(p, routes, dense, nil); got != nil {
+		t.Errorf("nil plan → %v impacts", got)
+	}
+	noop := &fault.Plan{Cells: []fault.CellFault{{Cell: 0, Factor: 1}}}
+	if got := DegradedBudgets(p, routes, dense, noop); got != nil {
+		t.Errorf("no-op plan → %v impacts", got)
+	}
+}
+
+func TestDegradedBudgetsPeriodic(t *testing.T) {
+	p, routes, dense := degradedFixture(t)
+	plan := &fault.Plan{
+		Cells: []fault.CellFault{{Cell: 1, Factor: 3}},
+		Links: []fault.LinkFault{{Link: 0, Factor: 2, From: 4}},
+	}
+	impacts := DegradedBudgets(p, routes, dense, plan)
+	if len(impacts) != 2 {
+		t.Fatalf("%d impacts, want 2", len(impacts))
+	}
+
+	// Slowed cell C2 (id 1): delays its own messages A (receiver) and
+	// B (sender); the guarantee survives with unchanged budgets.
+	slow := impacts[0]
+	if slow.Fault != "cell:1:slow=3" || slow.Class != ClassSlowCell {
+		t.Errorf("impact 0 = %q class %q", slow.Fault, slow.Class)
+	}
+	if !slow.GuaranteeHolds {
+		t.Error("slow cell voids guarantee")
+	}
+	if want := []model.MessageID{0, 1}; !reflect.DeepEqual(slow.AffectedMessages, want) {
+		t.Errorf("slow cell affects %v, want %v", slow.AffectedMessages, want)
+	}
+	base := CheckPreconditionsRoutes(routes, dense, 1<<30)
+	if slow.MinQueuesDynamic != base.MaxGroup || slow.MinQueuesStatic != base.MaxCompeting {
+		t.Errorf("slow budgets (%d,%d) differ from perfect-array (%d,%d)",
+			slow.MinQueuesDynamic, slow.MinQueuesStatic, base.MaxGroup, base.MaxCompeting)
+	}
+
+	// Throttled link 0 (C1–C2): only message A crosses it.
+	slowL := impacts[1]
+	if slowL.Fault != "link:0:slow=2@4" || slowL.Class != ClassSlowLink {
+		t.Errorf("impact 1 = %q class %q", slowL.Fault, slowL.Class)
+	}
+	if !slowL.GuaranteeHolds {
+		t.Error("throttled link voids guarantee")
+	}
+	if want := []model.MessageID{0}; !reflect.DeepEqual(slowL.AffectedMessages, want) {
+		t.Errorf("throttled link affects %v, want %v", slowL.AffectedMessages, want)
+	}
+}
+
+func TestDegradedBudgetsTerminalStallClosure(t *testing.T) {
+	p, routes, dense := degradedFixture(t)
+
+	// Dead C1 (id 0): A can never be written; C2 stalls on R(A), so B
+	// stalls too; C3 stalls on R(B), so C stalls. Everything is
+	// affected, nothing survives.
+	dead := DegradedBudgets(p, routes, dense, &fault.Plan{
+		Cells: []fault.CellFault{{Cell: 0, Dead: true}},
+	})
+	if len(dead) != 1 {
+		t.Fatalf("%d impacts, want 1", len(dead))
+	}
+	d := dead[0]
+	if d.Class != ClassDeadCell || d.GuaranteeHolds {
+		t.Errorf("dead cell: class %q holds=%v", d.Class, d.GuaranteeHolds)
+	}
+	if want := []model.MessageID{0, 1, 2}; !reflect.DeepEqual(d.AffectedMessages, want) {
+		t.Errorf("dead C1 affects %v, want %v (full stall closure)", d.AffectedMessages, want)
+	}
+	if d.MinQueuesDynamic != 0 || d.MinQueuesStatic != 0 {
+		t.Errorf("no surviving traffic but budgets (%d,%d)", d.MinQueuesDynamic, d.MinQueuesStatic)
+	}
+
+	// Severed last link (C3–C4): only C crosses it, and C is the last
+	// op of both its endpoints, so the closure stops there — A and B
+	// still complete and keep their budgets.
+	sev := DegradedBudgets(p, routes, dense, &fault.Plan{
+		Links: []fault.LinkFault{{Link: 2, Severed: true}},
+	})
+	if len(sev) != 1 {
+		t.Fatalf("%d impacts, want 1", len(sev))
+	}
+	s := sev[0]
+	if s.Class != ClassSeveredLink || s.GuaranteeHolds {
+		t.Errorf("severed link: class %q holds=%v", s.Class, s.GuaranteeHolds)
+	}
+	if want := []model.MessageID{2}; !reflect.DeepEqual(s.AffectedMessages, want) {
+		t.Errorf("severed C3–C4 affects %v, want %v", s.AffectedMessages, want)
+	}
+	surviving := [][]topology.Hop{routes[0], routes[1], nil}
+	rep := CheckPreconditionsRoutes(surviving, dense, 1<<30)
+	if s.MinQueuesDynamic != rep.MaxGroup || s.MinQueuesStatic != rep.MaxCompeting {
+		t.Errorf("surviving budgets (%d,%d), want (%d,%d)",
+			s.MinQueuesDynamic, s.MinQueuesStatic, rep.MaxGroup, rep.MaxCompeting)
+	}
+}
+
+func TestDegradedBudgetsDeadCellMidPipeline(t *testing.T) {
+	p, routes, dense := degradedFixture(t)
+
+	// Dead C3 (id 2): B's receiver and C's sender. A (C1→C2) is
+	// unaffected — C2's W(B) follows its R(A) in program order, and
+	// stalls propagate forward, not backward.
+	out := DegradedBudgets(p, routes, dense, &fault.Plan{
+		Cells: []fault.CellFault{{Cell: 2, Dead: true}},
+	})
+	if len(out) != 1 {
+		t.Fatalf("%d impacts, want 1", len(out))
+	}
+	if want := []model.MessageID{1, 2}; !reflect.DeepEqual(out[0].AffectedMessages, want) {
+		t.Errorf("dead C3 affects %v, want %v", out[0].AffectedMessages, want)
+	}
+}

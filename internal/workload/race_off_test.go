@@ -1,0 +1,7 @@
+//go:build !race
+
+package workload
+
+// raceEnabled reports whether the race detector instruments this
+// build; allocation gates skip themselves when it does.
+const raceEnabled = false

@@ -105,16 +105,30 @@ func loadConfig(path string) (config, error) {
 	return cfg, nil
 }
 
-// builtinWorkloads maps config names to the paper-figure constructors.
+// mustWorkload adapts an error-returning generator with fixed, known
+// good sizes to the map's infallible signature.
+func mustWorkload(w *workload.Workload, err error) func() *workload.Workload {
+	if err != nil {
+		panic(err)
+	}
+	return func() *workload.Workload { return w }
+}
+
+// builtinWorkloads maps config names to the paper-figure constructors
+// and the operator-graph families at smoke-grid sizes.
 var builtinWorkloads = map[string]func() *workload.Workload{
-	"fig3":   workload.Fig3,
-	"fig5p1": workload.Fig5P1,
-	"fig5p2": workload.Fig5P2,
-	"fig5p3": workload.Fig5P3,
-	"fig6":   workload.Fig6,
-	"fig7":   func() *workload.Workload { return workload.Fig7(workload.Fig7Options{}) },
-	"fig8":   workload.Fig8,
-	"fig9":   workload.Fig9,
+	"fig3":      workload.Fig3,
+	"fig5p1":    workload.Fig5P1,
+	"fig5p2":    workload.Fig5P2,
+	"fig5p3":    workload.Fig5P3,
+	"fig6":      workload.Fig6,
+	"fig7":      func() *workload.Workload { return workload.Fig7(workload.Fig7Options{}) },
+	"fig8":      workload.Fig8,
+	"fig9":      workload.Fig9,
+	"attention": mustWorkload(workload.Attention(workload.AttentionOptions{Tokens: 6, Experts: 3})),
+	"stencil":   mustWorkload(workload.Stencil(workload.StencilOptions{Rows: 3, Cols: 3, Iters: 2})),
+	"fft":       mustWorkload(workload.FFT(workload.FFTOptions{LogN: 3})),
+	"sortnet":   mustWorkload(workload.PipelinedSort(workload.PipelinedSortOptions{Width: 8, Rounds: 4})),
 }
 
 // buildCases resolves every case spec to a sweep case.

@@ -25,6 +25,19 @@ type SortOptions = workload.SortOptions
 // HornerOptions configures the polynomial-evaluation generator.
 type HornerOptions = workload.HornerOptions
 
+// AttentionOptions configures the attention/MoE operator-graph generator.
+type AttentionOptions = workload.AttentionOptions
+
+// StencilOptions configures the iterative mesh-stencil generator.
+type StencilOptions = workload.StencilOptions
+
+// FFTOptions configures the butterfly-network generator.
+type FFTOptions = workload.FFTOptions
+
+// PipelinedSortOptions configures the collection-free sorting-network
+// generator.
+type PipelinedSortOptions = workload.PipelinedSortOptions
+
 // Fig7Options sizes the Fig 7 example.
 type Fig7Options = workload.Fig7Options
 
@@ -43,6 +56,24 @@ func SortNetwork(opts SortOptions) (*Workload, error) { return workload.Sort(opt
 // HornerEval generates systolic polynomial evaluation by Horner's rule
 // on a linear array.
 func HornerEval(opts HornerOptions) (*Workload, error) { return workload.Horner(opts) }
+
+// AttentionGraph generates an attention/MoE-style operator graph:
+// router → experts → combiner on a linear array.
+func AttentionGraph(opts AttentionOptions) (*Workload, error) { return workload.Attention(opts) }
+
+// StencilGraph generates an iterative neighbor-exchange stencil on a
+// 2-D mesh.
+func StencilGraph(opts StencilOptions) (*Workload, error) { return workload.Stencil(opts) }
+
+// FFTGraph generates an in-place butterfly network (Walsh–Hadamard
+// arithmetic) on a linear array.
+func FFTGraph(opts FFTOptions) (*Workload, error) { return workload.FFT(opts) }
+
+// PipelinedSortNetwork generates odd-even transposition sort without
+// host collection; it scales to 10k+ cells.
+func PipelinedSortNetwork(opts PipelinedSortOptions) (*Workload, error) {
+	return workload.PipelinedSort(opts)
+}
 
 // The paper's figure programs.
 var (
