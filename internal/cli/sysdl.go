@@ -30,6 +30,11 @@ type SysdlOptions struct {
 	// applies to every scenario it fits. Empty runs the perfect array.
 	Fault string
 
+	// LinkModel is a link-timing spec (see systolic.ParseLinkModelSpec)
+	// the run verb applies to the simulation. Empty keeps unit-latency
+	// links.
+	LinkModel string
+
 	// sweep-verb flags: comma-separated axis values ("" = defaults)
 	// and the worker-pool bound (0 = GOMAXPROCS). Workers doubles as
 	// the run verb's intra-run shard count (deterministic: every
@@ -38,6 +43,9 @@ type SysdlOptions struct {
 	SweepQueues     string
 	SweepCapacities string
 	SweepLookaheads string
+	// SweepLinkModels is the link-timing axis, semicolon-separated
+	// (specs contain commas); an empty element is unit latency.
+	SweepLinkModels string
 	Workers         int
 
 	// fuzz-verb flags: scenario count and generation knobs. The fuzz
@@ -53,6 +61,7 @@ type SysdlOptions struct {
 	FuzzTopology   string
 	FuzzLookahead  int
 	FuzzFaults     bool
+	FuzzLinkModels bool
 	RunWorkers     int
 
 	// serve-verb flags: listen address, compiled-scenario cache bound,
@@ -91,10 +100,12 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Stats, "stats", o.Stats, "print per-queue statistics")
 	fs.BoolVar(&o.Force, "force", o.Force, "run even when Theorem 1's queue requirement is unmet")
 	fs.StringVar(&o.Fault, "fault", o.Fault, "run/sweep/fuzz: fault-plan spec, e.g. cell:1:slow=2,link:0:sever@9 (empty = perfect array)")
+	fs.StringVar(&o.LinkModel, "link-model", o.LinkModel, "run: link-timing spec, e.g. fixed,delay=3 or congestion,delay=1,threshold=2,max=4 (empty = unit latency)")
 	fs.StringVar(&o.SweepPolicies, "sweep-policies", o.SweepPolicies, "sweep: comma-separated policies (default fcfs,static,compatible)")
 	fs.StringVar(&o.SweepQueues, "sweep-queues", o.SweepQueues, "sweep: comma-separated queue budgets, 0 = auto (default 0,1,2,3)")
 	fs.StringVar(&o.SweepCapacities, "sweep-capacities", o.SweepCapacities, "sweep: comma-separated capacities (default 1,2)")
 	fs.StringVar(&o.SweepLookaheads, "sweep-lookaheads", o.SweepLookaheads, "sweep: comma-separated lookahead budgets, 0 = strict (default 0,2)")
+	fs.StringVar(&o.SweepLinkModels, "sweep-link-models", o.SweepLinkModels, "sweep: semicolon-separated link-timing specs, empty element = unit latency (default unit only)")
 	fs.IntVar(&o.Workers, "workers", o.Workers, "run: intra-run shards (byte-identical output for any count); sweep/fuzz: worker-pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&o.FuzzN, "n", o.FuzzN, "fuzz: number of scenarios (seeds seed..seed+n-1)")
 	fs.IntVar(&o.FuzzMutations, "fuzz-mutations", o.FuzzMutations, "fuzz: adjacent-op swaps per scenario (0 = deadlock-free by construction)")
@@ -104,6 +115,7 @@ func (o *SysdlOptions) BindFlags(fs *flag.FlagSet) {
 	fs.StringVar(&o.FuzzTopology, "fuzz-topology", o.FuzzTopology, "fuzz: auto|linear|ring|mesh")
 	fs.IntVar(&o.FuzzLookahead, "fuzz-lookahead", o.FuzzLookahead, "fuzz: §8 analysis budget (0 = strict)")
 	fs.BoolVar(&o.FuzzFaults, "faults", o.FuzzFaults, "fuzz: additionally check each scenario degraded by a seeded fault plan")
+	fs.BoolVar(&o.FuzzLinkModels, "link-models", o.FuzzLinkModels, "fuzz: additionally check each scenario under retimed link models (noop-equivalence, completion, parallel equivalence)")
 	fs.IntVar(&o.RunWorkers, "run-workers", o.RunWorkers, "sweep: shard each grid point across this many workers (limiter-bounded); fuzz: cross-check each simulation against a sharded re-run")
 	fs.StringVar(&o.Addr, "addr", o.Addr, "serve: listen address")
 	fs.IntVar(&o.CacheSize, "cache-size", o.CacheSize, "serve: compiled-scenario cache bound (entries)")
@@ -211,6 +223,13 @@ func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
 		if err != nil {
 			return 2, err
 		}
+		var lplan *systolic.LinkModelPlan
+		if opts.LinkModel != "" {
+			lplan, err = systolic.ParseLinkModelSpec(opts.LinkModel)
+			if err != nil {
+				return 2, err
+			}
+		}
 		res, err := systolic.Execute(a, systolic.ExecOptions{
 			Policy:         kind,
 			QueuesPerLink:  opts.Queues,
@@ -220,6 +239,7 @@ func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
 			Force:          opts.Force,
 			Workers:        opts.Workers,
 			Faults:         plan,
+			LinkModel:      lplan,
 		})
 		if err != nil {
 			return 1, err
@@ -235,6 +255,10 @@ func Sysdl(w io.Writer, cmd, src string, opts SysdlOptions) (int, error) {
 				fmt.Fprintf(w, "impact %s (%s): guarantee-holds=%v affected-messages=%d queues dynamic=%d static=%d\n",
 					imp.Fault, imp.Class, imp.GuaranteeHolds, len(imp.AffectedMessages), imp.MinQueuesDynamic, imp.MinQueuesStatic)
 			}
+		}
+		if li := systolic.LinkBudgets(a, lplan); li != nil {
+			fmt.Fprintf(w, "link model %s: guarantee-holds=%v max-stretch=%d affected-messages=%d queues dynamic=%d static=%d\n",
+				li.Model, li.GuaranteeHolds, li.MaxFactor, len(li.AffectedMessages), li.MinQueuesDynamic, li.MinQueuesStatic)
 		}
 		if opts.Timeline {
 			fmt.Fprint(w, systolic.RenderTimeline(p, topo, res))
@@ -309,6 +333,7 @@ func Fuzz(w io.Writer, opts SysdlOptions) (int, error) {
 		RunWorkers:    opts.RunWorkers,
 		Faults:        plan,
 		SeedFaults:    opts.FuzzFaults,
+		LinkModels:    opts.FuzzLinkModels,
 	}
 	// Bad generation knobs (e.g. -fuzz-cells 1) fail for every seed
 	// identically: catch them once up front as a usage error instead
@@ -365,6 +390,14 @@ func sweepAxes(opts SysdlOptions) (systolic.SweepAxes, error) {
 	}
 	if axes.Lookaheads, err = parseIntList(opts.SweepLookaheads, "sweep-lookaheads"); err != nil {
 		return axes, err
+	}
+	// Link-model specs contain commas, so the axis splits on
+	// semicolons; a lone empty flag keeps the engine default (unit
+	// only), and an empty element inside a list is the unit row.
+	if opts.SweepLinkModels != "" {
+		for _, spec := range strings.Split(opts.SweepLinkModels, ";") {
+			axes.LinkModels = append(axes.LinkModels, strings.TrimSpace(spec))
+		}
 	}
 	return axes, nil
 }

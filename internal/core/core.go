@@ -21,6 +21,7 @@ import (
 	"systolic/internal/crossoff"
 	"systolic/internal/fault"
 	"systolic/internal/label"
+	"systolic/internal/linkmodel"
 	"systolic/internal/machine"
 	"systolic/internal/model"
 	"systolic/internal/sim"
@@ -284,6 +285,13 @@ type ExecOptions struct {
 	// Theorem 1 budgets describe the perfect array, and
 	// verify.DegradedBudgets reports which of them survive each fault.
 	Faults *fault.Plan
+	// LinkModel retimes the interconnect for this run: fixed per-link
+	// latency/bandwidth or congestion-sensitive backpressure (see
+	// internal/linkmodel). nil or a unit plan keeps unit-latency links.
+	// Like Faults it is a run-time condition: the analysis' budgets
+	// describe the unit-latency array, and verify.LinkBudgets reports
+	// how they stretch under the model.
+	LinkModel *linkmodel.Plan
 }
 
 // MinQueues returns Theorem 1's queues-per-link requirement for a
@@ -361,6 +369,11 @@ func lower(a *Analysis, opts ExecOptions) (*machine.Machine, machine.ExecOptions
 			return nil, none, &OptionError{Op: "Execute", Field: "Faults", Reason: ferr.Error()}
 		}
 	}
+	if opts.LinkModel != nil {
+		if lerr := opts.LinkModel.Validate(len(a.Topology.Links())); lerr != nil {
+			return nil, none, &OptionError{Op: "Execute", Field: "LinkModel", Reason: lerr.Error()}
+		}
+	}
 	switch opts.Policy {
 	case DynamicCompatible, StaticAssignment, NaiveFCFS, NaiveLIFO, NaiveRandom, NaiveAdversarial:
 	default:
@@ -407,6 +420,7 @@ func lower(a *Analysis, opts ExecOptions) (*machine.Machine, machine.ExecOptions
 		Workers:          opts.Workers,
 		Context:          opts.Context,
 		Faults:           opts.Faults,
+		LinkModel:        opts.LinkModel,
 	}, nil
 }
 

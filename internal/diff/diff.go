@@ -46,6 +46,7 @@ import (
 	"systolic/internal/fault"
 	"systolic/internal/gen"
 	"systolic/internal/label"
+	"systolic/internal/linkmodel"
 	"systolic/internal/model"
 	"systolic/internal/queue"
 	"systolic/internal/sim"
@@ -98,6 +99,17 @@ type Options struct {
 	// (gen.RandomFaults from the scenario seed) when Faults is nil —
 	// the sysdl fuzz -faults knob.
 	SeedFaults bool
+	// LinkModels, when true, adds the link-timing invariants to every
+	// approved scenario: linkmodel-noop-equivalence (a delay-1 fixed
+	// plan is byte-identical to unit-latency execution),
+	// linkmodel-completion (an analyzer-approved configuration still
+	// completes under a fixed slowdown and under congestion
+	// backpressure — every shipped model is delay-only, so retiming
+	// stretches schedules but never removes progress), and
+	// linkmodel-parallel-equivalence (each model produces
+	// byte-identical results single-threaded and sharded). This is the
+	// sysdl fuzz -link-models knob.
+	LinkModels bool
 }
 
 func (o Options) withDefaults() Options {
@@ -134,7 +146,10 @@ type Finding struct {
 	// "under-budget-deadlock", "parallel-equivalence",
 	// "analyze-error", "exec-error", "generate-error",
 	// "fault-noop-equivalence", "degraded-completion",
-	// "fault-parallel-equivalence", "fault-exec-error".
+	// "fault-parallel-equivalence", "fault-exec-error",
+	// "fault-spec-roundtrip",
+	// "linkmodel-noop-equivalence", "linkmodel-completion",
+	// "linkmodel-parallel-equivalence", "linkmodel-exec-error".
 	Invariant string
 	// Expected marks anticipated findings (under-budget deadlocks);
 	// everything else is a violation.
@@ -369,7 +384,102 @@ func Check(sc *gen.Scenario, opts Options) Result {
 		}
 	}
 	faultChecks(sc, a, opts, &res, fail)
+	linkModelChecks(sc, a, opts, &res, fail)
 	return res
+}
+
+// linkModelChecks runs the link-timing invariants on one approved
+// scenario, after the main matrix, at one configuration: the first
+// policy and capacity, at exactly the Theorem 1 budget — the same
+// regime faultChecks uses, so a violation pins timing, not budgets.
+func linkModelChecks(sc *gen.Scenario, a *core.Analysis, opts Options, res *Result, fail func(Finding)) {
+	if !opts.LinkModels {
+		return
+	}
+	pol := opts.Policies[0]
+	capacity := opts.Capacities[0]
+	q := a.MinQueues(pol)
+	if q < 1 {
+		q = 1
+	}
+	cfg := Finding{Policy: pol.String(), Queues: q, MinQueues: a.MinQueues(pol), Capacity: capacity}
+	exec := func(p *linkmodel.Plan, workers int) (*sim.Result, error) {
+		res.Runs++
+		r, err := core.Execute(a, core.ExecOptions{
+			Policy:        pol,
+			QueuesPerLink: q,
+			Capacity:      capacity,
+			MaxCycles:     opts.MaxCycles,
+			Workers:       workers,
+			LinkModel:     p,
+			Force:         true,
+		})
+		if err == nil && r.Completed {
+			res.Completed++
+		}
+		return r, err
+	}
+
+	// Invariant: a fixed plan with delay 1 and no credit is unit timing
+	// in disguise — it must be byte-identical to running with no model.
+	clean, cleanErr := exec(nil, 0)
+	rNoop, noopErr := exec(linkmodel.FixedPlan(1, 0), 0)
+	switch {
+	case (cleanErr == nil) != (noopErr == nil):
+		f := cfg
+		f.Invariant = "linkmodel-noop-equivalence"
+		f.Detail = fmt.Sprintf("delay-1 plan changed the error outcome: %v vs %v", noopErr, cleanErr)
+		fail(f)
+	case cleanErr == nil && !reflect.DeepEqual(clean, rNoop):
+		f := cfg
+		f.Invariant = "linkmodel-noop-equivalence"
+		f.Detail = fmt.Sprintf("delay-1 plan diverged from unit-latency run: %s vs %s after %d vs %d cycles",
+			rNoop.Outcome(), clean.Outcome(), rNoop.Cycles, clean.Cycles)
+		fail(f)
+	}
+
+	// Invariants: every shipped model is delay-only, so an
+	// analyzer-approved configuration must still complete under it —
+	// and each model must be byte-identical single-threaded and
+	// sharded.
+	workers := opts.RunWorkers
+	if workers <= 1 {
+		workers = 4
+	}
+	for _, plan := range []*linkmodel.Plan{
+		linkmodel.FixedPlan(3, 0),
+		linkmodel.CongestionPlan(1, 2, 4),
+	} {
+		r1, err1 := exec(plan, 0)
+		switch {
+		case err1 != nil:
+			f := cfg
+			f.Invariant = "linkmodel-exec-error"
+			f.Detail = fmt.Sprintf("model %s: %v", plan, err1)
+			fail(f)
+			continue
+		case !r1.Completed:
+			f := cfg
+			f.Invariant = "linkmodel-completion"
+			f.Detail = fmt.Sprintf("%s after %d cycles under model %s: %s",
+				r1.Outcome(), r1.Cycles, plan, blockedCells(sc.Program, r1.Blocked))
+			fail(f)
+		}
+		rw, errw := exec(plan, workers)
+		switch {
+		case errw != nil:
+			f := cfg
+			f.Invariant = "linkmodel-parallel-equivalence"
+			f.Detail = fmt.Sprintf("model %s: sharded run (workers=%d) errored where single-threaded succeeded: %v", plan, workers, errw)
+			fail(f)
+		case !reflect.DeepEqual(r1, rw):
+			f := cfg
+			f.Invariant = "linkmodel-parallel-equivalence"
+			f.Detail = fmt.Sprintf("model %s: workers=%d diverged from single-threaded: %s vs %s after %d vs %d cycles",
+				plan, workers, rw.Outcome(), r1.Outcome(), rw.Cycles, r1.Cycles)
+			fail(f)
+		}
+	}
 }
 
 // faultChecks runs the degraded-array invariants on one approved
@@ -397,6 +507,27 @@ func faultChecks(sc *gen.Scenario, a *core.Analysis, opts Options, res *Result, 
 		q = 1
 	}
 	cfg := Finding{Policy: pol.String(), Queues: q, MinQueues: a.MinQueues(pol), Capacity: capacity}
+
+	// Invariant: the plan's canonical spec re-parses to the same plan
+	// (fault-spec-roundtrip). Every seeded plan replays through the
+	// grammar the CLI and wire share, so the corpus covers its edge
+	// cases: @0 effective-froms canonicalize to no suffix, and a valid
+	// plan can never trip the duplicate-target parse error.
+	if spec := plan.String(); spec != "" {
+		rt, err := fault.ParseSpec(spec)
+		switch {
+		case err != nil:
+			f := cfg
+			f.Invariant = "fault-spec-roundtrip"
+			f.Detail = fmt.Sprintf("canonical spec %q failed to re-parse: %v", spec, err)
+			fail(f)
+		case rt.String() != spec:
+			f := cfg
+			f.Invariant = "fault-spec-roundtrip"
+			f.Detail = fmt.Sprintf("canonical spec %q re-parsed to %q", spec, rt.String())
+			fail(f)
+		}
+	}
 	exec := func(p *fault.Plan, workers int) (*sim.Result, error) {
 		res.Runs++
 		r, err := core.Execute(a, core.ExecOptions{

@@ -279,3 +279,43 @@ func TestSummaryMentionsCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestLinkModelSweep: with the link-timing invariants enabled, a batch
+// of scenarios must pass noop-equivalence, completion under both
+// retimed models, and parallel equivalence — and the extra
+// simulations must actually run. The 200-scenario width is the CI
+// contract for sysdl fuzz -link-models.
+func TestLinkModelSweep(t *testing.T) {
+	clean, err := Run(context.Background(), 200, 1, Options{Gen: gen.Options{Mutations: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retimed, err := Run(context.Background(), 200, 1, Options{Gen: gen.Options{Mutations: 2}, LinkModels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range retimed.Violations() {
+		t.Errorf("link-model sweep: %s", v)
+	}
+	runs := func(r *Report) (n int) {
+		for _, res := range r.Results {
+			n += res.Runs
+		}
+		return n
+	}
+	if c, f := runs(clean), runs(retimed); f <= c {
+		t.Fatalf("LinkModels ran %d simulations over %d clean — the link-timing checks never executed", f, c)
+	}
+}
+
+// TestLinkModelWithFaults: link models and seeded fault plans compose
+// in one oracle pass without violations.
+func TestLinkModelWithFaults(t *testing.T) {
+	rep, err := Run(context.Background(), 80, 3, Options{Gen: gen.Options{Mutations: 2}, SeedFaults: true, LinkModels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations() {
+		t.Errorf("composed sweep: %s", v)
+	}
+}

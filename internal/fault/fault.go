@@ -223,15 +223,22 @@ func (p *Plan) String() string {
 //	link:IDX:slow=K[@FROM]   periodic link throttle, factor K
 //	link:IDX:sever[@FROM]    severed link
 //
-// The optional @FROM suffix delays the fault to cycle FROM. An empty
-// spec returns a nil plan. Index bounds are not known here; callers
-// run Plan.Validate against the concrete scenario.
+// The optional @FROM suffix delays the fault to cycle FROM; @0 is
+// accepted and means "from the start", the same as no suffix (the
+// canonical String form omits it). An empty spec returns a nil plan.
+// Naming one cell or link twice is a parse error, not a silent
+// last-write-wins: a plan can hold at most one fault per element, and
+// Lower without an intervening Validate used to keep whichever
+// duplicate came last. Index bounds are not known here; callers run
+// Plan.Validate against the concrete scenario.
 func ParseSpec(spec string) (*Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		return nil, nil
 	}
 	p := &Plan{}
+	seenCell := map[int]bool{}
+	seenLink := map[int]bool{}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		fields := strings.SplitN(part, ":", 3)
@@ -248,6 +255,9 @@ func ParseSpec(spec string) (*Plan, error) {
 			from, err = strconv.Atoi(effect[at+1:])
 			if err != nil {
 				return nil, fmt.Errorf("fault spec %q: bad effective-from cycle: %v", part, err)
+			}
+			if from < 0 {
+				return nil, fmt.Errorf("fault spec %q: negative effective-from cycle %d", part, from)
 			}
 			effect = effect[:at]
 		}
@@ -269,11 +279,19 @@ func ParseSpec(spec string) (*Plan, error) {
 			if effect == "sever" {
 				return nil, fmt.Errorf("fault spec %q: cells die, links sever", part)
 			}
+			if seenCell[idx] {
+				return nil, fmt.Errorf("fault spec %q: cell %d already has a fault in this spec (one fault per cell)", part, idx)
+			}
+			seenCell[idx] = true
 			p.Cells = append(p.Cells, CellFault{Cell: model.CellID(idx), Factor: factor, Dead: terminal, From: from})
 		case "link":
 			if effect == "dead" {
 				return nil, fmt.Errorf("fault spec %q: links sever, cells die", part)
 			}
+			if seenLink[idx] {
+				return nil, fmt.Errorf("fault spec %q: link %d already has a fault in this spec (one fault per link)", part, idx)
+			}
+			seenLink[idx] = true
 			p.Links = append(p.Links, LinkFault{Link: topology.LinkID(idx), Factor: factor, Severed: terminal, From: from})
 		default:
 			return nil, fmt.Errorf("fault spec %q: unknown kind %q (want cell or link)", part, fields[0])

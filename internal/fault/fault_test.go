@@ -2,6 +2,7 @@ package fault
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"systolic/internal/model"
@@ -222,4 +223,55 @@ func TestLowerNoopReturnsNil(t *testing.T) {
 func TestTypesAreStable(t *testing.T) {
 	_ = CellFault{Cell: model.CellID(0), Factor: 2, Dead: false, From: 0}
 	_ = LinkFault{Link: topology.LinkID(0), Factor: 2, Severed: false, From: 0}
+}
+
+// TestParseSpecEdgeCases pins the spec-grammar corners the fuzz
+// corpus replays through the oracle's fault-spec-roundtrip invariant:
+// @0 means "from the start" and canonicalizes to no suffix, negative
+// effective-from cycles are rejected, and naming one cell or link
+// twice — even with different effects — is a parse error rather than
+// a silent last-write-wins.
+func TestParseSpecEdgeCases(t *testing.T) {
+	// @0 is accepted and equivalent to omitting the suffix.
+	for _, s := range []string{"cell:1:slow=2@0", "link:0:sever@0"} {
+		p, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		canon := p.String()
+		if strings.Contains(canon, "@") {
+			t.Errorf("ParseSpec(%q).String() = %q, want the @0 suffix dropped", s, canon)
+		}
+		again, err := ParseSpec(canon)
+		if err != nil || !reflect.DeepEqual(p, again) {
+			t.Errorf("canonical form %q did not round-trip: %v", canon, err)
+		}
+	}
+
+	// Duplicate targets and negative effective-from cycles are parse
+	// errors with messages naming the offending element.
+	bad := []struct {
+		spec, want string
+	}{
+		{"cell:1:slow=2,cell:1:slow=3", "cell 1 already has a fault"},
+		{"cell:1:slow=2,cell:1:dead", "cell 1 already has a fault"},
+		{"link:0:slow=2,link:0:sever", "link 0 already has a fault"},
+		{"link:2:sever,cell:0:dead,link:2:slow=4", "link 2 already has a fault"},
+		{"cell:1:slow=2@-3", "negative effective-from cycle"},
+	}
+	for _, tc := range bad {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSpec(%q) error %q, want it to contain %q", tc.spec, err, tc.want)
+		}
+	}
+
+	// The same cell and link index are distinct elements: no clash.
+	if _, err := ParseSpec("cell:1:slow=2,link:1:slow=2"); err != nil {
+		t.Errorf("cell and link sharing an index rejected: %v", err)
+	}
 }

@@ -1,0 +1,201 @@
+package linkmodel
+
+import (
+	"strings"
+	"testing"
+
+	"systolic/internal/topology"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"unit",
+		"fixed,delay=1",
+		"fixed,delay=3",
+		"fixed,delay=2,credit=1",
+		"fixed,delay=2,link:3:delay=5",
+		"fixed,delay=1,link:0:delay=4,link:2:credit=1",
+		"congestion,delay=1,threshold=2,max=4",
+		"congestion,delay=2,threshold=1,max=3,credit=2",
+	}
+	for _, spec := range specs {
+		p, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		if got := p.String(); got != spec {
+			t.Errorf("ParseSpec(%q).String() = %q", spec, got)
+		}
+		q, err := ParseSpec(p.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p.String(), err)
+		}
+		if q.String() != p.String() {
+			t.Errorf("round-trip drift: %q -> %q", p.String(), q.String())
+		}
+	}
+}
+
+func TestParseSpecEmptyAndUnit(t *testing.T) {
+	p, err := ParseSpec("")
+	if err != nil || p != nil {
+		t.Fatalf("ParseSpec(\"\") = %v, %v; want nil, nil", p, err)
+	}
+	u, err := ParseSpec("unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.IsUnit() {
+		t.Error("unit plan is not IsUnit")
+	}
+	if Lower(u, 4) != nil {
+		t.Error("Lower(unit) != nil")
+	}
+	if Lower(nil, 4) != nil {
+		t.Error("Lower(nil) != nil")
+	}
+	// A fixed plan with unit parameters lowers to nil too.
+	f, err := ParseSpec("fixed,delay=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Lower(f, 4) != nil {
+		t.Error("Lower(fixed,delay=1) != nil")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"bogus", "unknown model"},
+		{"fixed,delay=2,delay=3", "duplicate parameter"},
+		{"fixed,link:1:delay=2,link:1:delay=3", "duplicate delay for link 1"},
+		{"fixed,threshold=2", "congestion model only"},
+		{"congestion,link:0:delay=2", "fixed model only"},
+		{"fixed,delay=x", "bad delay"},
+		{"fixed,delay", "want key=value"},
+		{"fixed,link:0:slow=2", "unknown link parameter"},
+		{"congestion,warp=9", "unknown parameter"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSpec(%q) err = %v, want containing %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok, err := ParseSpec("fixed,delay=2,link:3:delay=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("Validate(4): %v", err)
+	}
+	if err := ok.Validate(3); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("Validate(3) err = %v, want out of range", err)
+	}
+	dup := &Plan{Kind: Fixed, Overrides: []Override{{Link: 1, Delay: 2}, {Link: 1, Credit: 1}}}
+	if err := dup.Validate(4); err == nil || !strings.Contains(err.Error(), "more than one override") {
+		t.Errorf("duplicate override err = %v", err)
+	}
+	neg := &Plan{Kind: Fixed, Delay: -1}
+	if err := neg.Validate(4); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative delay err = %v", err)
+	}
+	huge := &Plan{Kind: Fixed, Delay: maxParam + 1}
+	if err := huge.Validate(4); err == nil || !strings.Contains(err.Error(), "exceeds the maximum") {
+		t.Errorf("huge delay err = %v", err)
+	}
+}
+
+func TestLoweredBusy(t *testing.T) {
+	p, err := ParseSpec("fixed,delay=3,credit=2,link:1:delay=5,link:2:credit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Lower(p, 4)
+	if l == nil {
+		t.Fatal("lowered to nil")
+	}
+	cases := []struct {
+		link  topology.LinkID
+		tally int32
+		want  int
+	}{
+		{0, 1, 3},  // one word, one service of delay 3
+		{0, 2, 3},  // within credit 2: still one service
+		{0, 3, 6},  // two services
+		{1, 1, 5},  // override delay
+		{2, 4, 12}, // credit override 1: four services of delay 3
+	}
+	for _, c := range cases {
+		if got := l.Busy(c.link, c.tally); got != c.want {
+			t.Errorf("Busy(%d, %d) = %d, want %d", c.link, c.tally, got, c.want)
+		}
+	}
+	if l.MaxFactor() != 5 {
+		t.Errorf("MaxFactor = %d, want 5", l.MaxFactor())
+	}
+}
+
+func TestLoweredCongestion(t *testing.T) {
+	p, err := ParseSpec("congestion,delay=1,threshold=2,max=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Lower(p, 2)
+	if l == nil {
+		t.Fatal("lowered to nil")
+	}
+	cases := []struct {
+		tally int32
+		want  int
+	}{
+		{1, 1},  // under threshold: unit
+		{2, 1},  // (2-1)/2 = 0 extra
+		{3, 2},  // one extra cycle of backpressure
+		{9, 5},  // (9-1)/2 = 4, at the cap
+		{99, 5}, // capped
+	}
+	for _, c := range cases {
+		if got := l.Busy(0, c.tally); got != c.want {
+			t.Errorf("Busy(0, %d) = %d, want %d", c.tally, got, c.want)
+		}
+	}
+	if l.MaxFactor() != 5 {
+		t.Errorf("MaxFactor = %d, want 5", l.MaxFactor())
+	}
+}
+
+func TestScaleCycles(t *testing.T) {
+	l := Lower(FixedPlan(4, 0), 2)
+	if n, ok := l.ScaleCycles(100); !ok || n != 400 {
+		t.Errorf("ScaleCycles(100) = %d, %v; want 400, true", n, ok)
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if _, ok := l.ScaleCycles(maxInt/2 + 1); ok {
+		t.Error("ScaleCycles near MaxInt did not report overflow")
+	}
+	unitish := Lower(CongestionPlan(1, 2, 3), 2)
+	if unitish.MaxFactor() != 4 {
+		t.Errorf("congestion MaxFactor = %d, want 4", unitish.MaxFactor())
+	}
+}
+
+func TestModelInterface(t *testing.T) {
+	var m Model = FixedPlan(2, 1)
+	if m.Spec() != "fixed,delay=2,credit=1" {
+		t.Errorf("Spec = %q", m.Spec())
+	}
+	if m.Compile(3) == nil {
+		t.Error("Compile = nil for non-unit model")
+	}
+	var u Model = UnitPlan()
+	if u.Compile(3) != nil {
+		t.Error("unit Compile != nil")
+	}
+}

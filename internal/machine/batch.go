@@ -49,11 +49,11 @@ func (ex *Exec) Machine() *Machine { return ex.m }
 // Exec's retained state. See the type comment for the Result
 // lifetime contract.
 func (ex *Exec) Run(opts ExecOptions) (*Result, error) {
-	maxCycles, tbl, flavor, flt, err := ex.m.prepare(&opts)
+	maxCycles, tbl, flavor, flt, lm, err := ex.m.prepare(&opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := ex.m.runExec(ex.e, &opts, tbl, flavor, maxCycles, flt); err != nil {
+	if err := ex.m.runExec(ex.e, &opts, tbl, flavor, maxCycles, flt, lm); err != nil {
 		return nil, err
 	}
 	ex.out = ex.e.result()

@@ -5,6 +5,7 @@ import (
 
 	"systolic/internal/assign"
 	"systolic/internal/fault"
+	"systolic/internal/linkmodel"
 	"systolic/internal/model"
 	"systolic/internal/queue"
 	"systolic/internal/topology"
@@ -188,6 +189,27 @@ type exec struct {
 	// downstream byte — matches the reference engine's full scan.
 	faults *fault.Lowered
 
+	// lm holds the run's lowered link-timing tables; nil under unit
+	// latency, so every hot-path gate is a single pointer test.
+	// Occupancy state: lmNextFree[l] is the first cycle link l is free
+	// again (words cross only when now ≥ lmNextFree[l]); lmTally[l]
+	// counts the words that crossed l this cycle; lmDirty lists the
+	// links with a non-zero tally; lmBusyMax is the largest nextFree
+	// ever set, so a no-event cycle at now ≥ lmBusyMax cannot be
+	// waiting out a busy window. Gates sit immediately before the
+	// fault link gates at the three link-crossing sites (interior
+	// advances, sender writes, rendezvous) and are pure reads during a
+	// phase; tallies ride the shard sinks (increments commute) and the
+	// coordinator folds them — and recomputes nextFree — at end of
+	// cycle (lmEndCycle), so every worker count produces the same
+	// bytes. A busy-link stall is timing, not degradation: it does not
+	// count toward GatedOps.
+	lm         *linkmodel.Lowered
+	lmNextFree []int
+	lmTally    []int32
+	lmDirty    []int32
+	lmBusyMax  int
+
 	// Sharded-execution state (see parallel.go). workers is the shard
 	// count (1 = single-threaded); recvShard/sendShard map each message
 	// to the shard owning its receiver/sender cell (only filled when
@@ -249,7 +271,7 @@ func grow[T any](s []T, n int) []T {
 }
 
 // init sizes the exec for one run, reusing pooled backing arrays.
-func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int, flt *fault.Lowered) {
+func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int, flt *fault.Lowered, lm *linkmodel.Lowered) {
 	e.m = m
 	e.logic = opts.Logic
 	e.policy = opts.Policy
@@ -258,6 +280,16 @@ func (e *exec) init(m *Machine, opts *ExecOptions, tbl *poolTable, flavor int, f
 	e.queuesPerLink = opts.QueuesPerLink
 	e.recordTimeline = opts.RecordTimeline
 	e.faults = flt
+	e.lm = lm
+	e.lmBusyMax = 0
+	if lm != nil {
+		n := len(m.links)
+		e.lmNextFree = grow(e.lmNextFree, n)
+		e.lmTally = grow(e.lmTally, n)
+		clear(e.lmNextFree)
+		clear(e.lmTally)
+		e.lmDirty = e.lmDirty[:0]
+	}
 
 	q := opts.QueuesPerLink
 	e.numPools = tbl.numPools
@@ -410,6 +442,7 @@ func (e *exec) release() {
 	e.arena = nil
 	e.cancel = nil
 	e.faults = nil
+	e.lm = nil
 	e.ctx = assign.Context{}
 	e.res = Result{}
 	e.stats = Stats{}
@@ -436,6 +469,52 @@ func (e *exec) poolOf(id model.MessageID, hop int) int {
 //sysvet:hotpath
 func (e *exec) hopLink(id model.MessageID, hop int) topology.LinkID {
 	return e.m.hops[e.m.hopOff[id]+int32(hop)].link
+}
+
+// linkFree reports whether link lk can carry words this cycle, i.e.
+// it is not inside a busy window from an earlier cycle's traffic.
+// Callers gate with e.lm != nil so the unit-latency path never loads
+// the table.
+//
+//sysvet:hotpath
+func (e *exec) linkFree(lk topology.LinkID) bool {
+	return e.now >= e.lmNextFree[lk]
+}
+
+// noteLinkHit tallies one word crossing link lk this cycle. Direct
+// mode folds into coordinator state; sharded mode defers through the
+// sink (increments commute, so merge order cannot be observed).
+// Callers gate with e.lm != nil.
+//
+//sysvet:hotpath
+func (e *exec) noteLinkHit(lk topology.LinkID, sk *sink) {
+	if e.direct {
+		if e.lmTally[lk] == 0 {
+			e.lmDirty = append(e.lmDirty, int32(lk))
+		}
+		e.lmTally[lk]++
+		return
+	}
+	sk.linkHits = append(sk.linkHits, int32(lk))
+}
+
+// lmEndCycle closes the cycle's link occupancy: every link with
+// traffic this cycle gets a busy window from the model
+// (nextFree = now + Busy(link, tally)), and the tallies reset.
+// Coordinator-only, after the release phase — the reference engine
+// runs the identical fold at the identical point.
+//
+//sysvet:hotpath
+func (e *exec) lmEndCycle() {
+	for _, l := range e.lmDirty {
+		nf := e.now + e.lm.Busy(topology.LinkID(l), e.lmTally[l])
+		e.lmNextFree[l] = nf
+		if nf > e.lmBusyMax {
+			e.lmBusyMax = nf
+		}
+		e.lmTally[l] = 0
+	}
+	e.lmDirty = e.lmDirty[:0]
 }
 
 // noteGated counts one operation held back by a fault gate.
@@ -681,13 +760,20 @@ func (e *exec) run(maxCycles int) {
 		e.grantPhase()
 		e.cellAndTransferPhase()
 		e.releasePhase()
-		if !e.moved && !e.anyCooling() && (e.faults == nil || e.faults.AllPeriodicOpen(e.now)) {
+		if e.lm != nil {
+			e.lmEndCycle()
+		}
+		if !e.moved && !e.anyCooling() && (e.faults == nil || e.faults.AllPeriodicOpen(e.now)) &&
+			(e.lm == nil || e.now >= e.lmBusyMax) {
 			// A no-event cycle proves deadlock only if every periodic
 			// fault gate was open: a closed gate may be the sole reason
 			// nothing moved, and the system can progress once it
 			// reopens. Dead cells and severed links never reopen, so
 			// they are rightly excluded — work stalled on them is a
-			// genuine, deterministic deadlock.
+			// genuine, deterministic deadlock. Likewise a link still
+			// inside a busy window (now < lmBusyMax) may be the sole
+			// stall cause; every window is finite, so waiting it out
+			// keeps deadlock detection exact.
 			e.res.Deadlocked = true
 			e.res.Blocked = e.blockedReport()
 			break
@@ -1062,11 +1148,19 @@ func (e *exec) advanceShard(s int) {
 				continue
 			}
 			if src.q.FrontReady() && dst.q.CanAccept() {
+				if e.lm != nil && !e.linkFree(e.hopLink(id, hop+1)) {
+					// Busy-link stalls are timing, not degradation: no
+					// GatedOps.
+					continue
+				}
 				if e.faults != nil && !e.faults.LinkOpen(e.hopLink(id, hop+1), e.now) {
 					e.noteGated(sk)
 					continue
 				}
 				dst.q.Push(src.q.Pop())
+				if e.lm != nil {
+					e.noteLinkHit(e.hopLink(id, hop+1), sk)
+				}
 				e.noteCooling(src, sk)
 				ms.departed[hop]++
 				e.noteMoved(id, sk)
@@ -1116,11 +1210,17 @@ func (e *exec) writeShard(s int) {
 		if !qi.q.CanAccept() {
 			continue
 		}
+		if e.lm != nil && !e.linkFree(qi.link) {
+			continue
+		}
 		if e.faults != nil && (!e.faults.CellOpen(cell, e.now) || !e.faults.LinkOpen(qi.link, e.now)) {
 			e.noteGated(sk)
 			continue
 		}
 		qi.q.Push(e.logic.Produce(cell, id, ms.written))
+		if e.lm != nil {
+			e.noteLinkHit(qi.link, sk)
+		}
 		ms.written++
 		e.noteTransport(id, sk)
 		e.noteReqCheck(id, sk)
@@ -1162,6 +1262,9 @@ func (e *exec) rendezvous(sk *sink) {
 		if rOp.Kind != model.Read || rOp.Msg != id {
 			continue
 		}
+		if e.lm != nil && !e.linkFree(ms.queues[0].link) {
+			continue
+		}
 		if e.faults != nil && (!e.faults.CellOpen(e.m.sender[id], e.now) ||
 			!e.faults.CellOpen(e.m.receiver[id], e.now) ||
 			!e.faults.LinkOpen(ms.queues[0].link, e.now)) {
@@ -1171,6 +1274,9 @@ func (e *exec) rendezvous(sk *sink) {
 		w := e.logic.Produce(e.m.sender[id], id, ms.written)
 		e.logic.OnRead(e.m.receiver[id], id, ms.read, w)
 		e.deliver(id, w)
+		if e.lm != nil {
+			e.noteLinkHit(ms.queues[0].link, sk)
+		}
 		ms.written++
 		ms.read++
 		ms.departed[0]++

@@ -30,6 +30,7 @@ import (
 
 	"systolic/internal/assign"
 	"systolic/internal/fault"
+	"systolic/internal/linkmodel"
 	"systolic/internal/model"
 	"systolic/internal/queue"
 	"systolic/internal/topology"
@@ -199,6 +200,14 @@ type ExecOptions struct {
 	// with no plan at all. Faults are per-run, like queue budgets:
 	// one compiled machine serves faulted and fault-free runs alike.
 	Faults *fault.Plan
+	// LinkModel retimes the interconnect for this run: each link serves
+	// the words that crossed it in a cycle and then stays busy for a
+	// model-determined window (fixed per-link latency/bandwidth, or
+	// congestion-sensitive backpressure — see internal/linkmodel). nil
+	// (or a unit plan) keeps the paper's unit-latency links,
+	// byte-identically to a run with no model at all. Like Faults, the
+	// model is per-run: one compiled machine serves every timing.
+	LinkModel *linkmodel.Plan
 	// Workers selects deterministic sharded execution: each cycle's
 	// phases fan out across this many shards with per-phase barriers,
 	// and shard effects merge in fixed shard order, so the Result is
@@ -447,52 +456,65 @@ func (m *Machine) Reset() {
 }
 
 // prepare validates opts, applies defaults (Logic, MaxCycles), and
-// resolves the pool regime plus the lowered fault tables. It is the
-// shared front half of Run and Exec.Run, so both reject
-// configurations with identical errors.
-func (m *Machine) prepare(opts *ExecOptions) (maxCycles int, tbl *poolTable, flavor int, flt *fault.Lowered, err error) {
+// resolves the pool regime plus the lowered fault and link-timing
+// tables. It is the shared front half of Run and Exec.Run, so both
+// reject configurations with identical errors.
+func (m *Machine) prepare(opts *ExecOptions) (maxCycles int, tbl *poolTable, flavor int, flt *fault.Lowered, lm *linkmodel.Lowered, err error) {
 	if opts.Policy == nil {
-		return 0, nil, 0, nil, &ConfigError{Field: "Policy", Reason: "nil policy"}
+		return 0, nil, 0, nil, nil, &ConfigError{Field: "Policy", Reason: "nil policy"}
 	}
 	if opts.QueuesPerLink < 1 {
-		return 0, nil, 0, nil, &ConfigError{Field: "QueuesPerLink", Reason: fmt.Sprintf("%d < 1 (every link needs at least one queue, §2.3)", opts.QueuesPerLink)}
+		return 0, nil, 0, nil, nil, &ConfigError{Field: "QueuesPerLink", Reason: fmt.Sprintf("%d < 1 (every link needs at least one queue, §2.3)", opts.QueuesPerLink)}
 	}
 	if opts.Capacity < 0 {
-		return 0, nil, 0, nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", opts.Capacity)}
+		return 0, nil, 0, nil, nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf("negative capacity %d", opts.Capacity)}
 	}
 	if opts.ExtCapacity < 0 {
-		return 0, nil, 0, nil, &ConfigError{Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", opts.ExtCapacity)}
+		return 0, nil, 0, nil, nil, &ConfigError{Field: "ExtCapacity", Reason: fmt.Sprintf("negative extension capacity %d", opts.ExtCapacity)}
 	}
 	if opts.ExtPenalty < 0 {
-		return 0, nil, 0, nil, &ConfigError{Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", opts.ExtPenalty)}
+		return 0, nil, 0, nil, nil, &ConfigError{Field: "ExtPenalty", Reason: fmt.Sprintf("negative extension penalty %d", opts.ExtPenalty)}
 	}
 	if opts.Workers < 0 {
-		return 0, nil, 0, nil, &ConfigError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
+		return 0, nil, 0, nil, nil, &ConfigError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d (0 = single-threaded)", opts.Workers)}
 	}
 	if opts.Capacity == 0 {
 		if m.multiHopMsg >= 0 {
-			return 0, nil, 0, nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf(
+			return 0, nil, 0, nil, nil, &ConfigError{Field: "Capacity", Reason: fmt.Sprintf(
 				"capacity 0 (latch) supports single-hop routes only; message %s crosses %d links",
 				m.prog.Message(m.multiHopMsg).Name, len(m.routes[m.multiHopMsg]))}
 		}
 		if opts.ExtCapacity > 0 {
-			return 0, nil, 0, nil, &ConfigError{Field: "ExtCapacity", Reason: "queue extension requires base capacity ≥ 1"}
+			return 0, nil, 0, nil, nil, &ConfigError{Field: "ExtCapacity", Reason: "queue extension requires base capacity ≥ 1"}
 		}
 	}
 	if opts.Faults != nil {
 		if ferr := opts.Faults.Validate(m.prog.NumCells(), len(m.links)); ferr != nil {
-			return 0, nil, 0, nil, &ConfigError{Field: "Faults", Reason: ferr.Error()}
+			return 0, nil, 0, nil, nil, &ConfigError{Field: "Faults", Reason: ferr.Error()}
 		}
 		flt = fault.Lower(opts.Faults, m.prog.NumCells(), len(m.links))
+	}
+	if opts.LinkModel != nil {
+		if lerr := opts.LinkModel.Validate(len(m.links)); lerr != nil {
+			return 0, nil, 0, nil, nil, &ConfigError{Field: "LinkModel", Reason: lerr.Error()}
+		}
+		lm = linkmodel.Lower(opts.LinkModel, len(m.links))
 	}
 	if opts.Logic == nil {
 		opts.Logic = SyntheticLogic{}
 	}
 	maxCycles = opts.MaxCycles
 	if maxCycles <= 0 {
-		maxCycles, err = maxCyclesFor(m.totalWords, m.totalHops)
+		linkFactor := 1
+		if lm != nil {
+			// The derived bound must scale with the slowest link or
+			// slow-link runs are misreported as deadlocks; see
+			// maxCyclesFor.
+			linkFactor = lm.MaxFactor()
+		}
+		maxCycles, err = maxCyclesFor(m.totalWords, m.totalHops, linkFactor)
 		if err != nil {
-			return 0, nil, 0, nil, err
+			return 0, nil, 0, nil, nil, err
 		}
 		if flt != nil {
 			// A factor-k slowdown stretches any schedule by at most k,
@@ -500,7 +522,7 @@ func (m *Machine) prepare(opts *ExecOptions) (maxCycles int, tbl *poolTable, fla
 			// user-set MaxCycles is never second-guessed.
 			scaled, ok := flt.ScaleCycles(maxCycles)
 			if !ok {
-				return 0, nil, 0, nil, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf(
+				return 0, nil, 0, nil, nil, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf(
 					"derived cycle bound %d×%d (fault slowdown) overflows int; set MaxCycles explicitly", maxCycles, flt.MaxFactor())}
 			}
 			maxCycles = scaled
@@ -511,14 +533,14 @@ func (m *Machine) prepare(opts *ExecOptions) (maxCycles int, tbl *poolTable, fla
 		tbl = &m.directional
 		flavor = 1
 	}
-	return maxCycles, tbl, flavor, flt, nil
+	return maxCycles, tbl, flavor, flt, lm, nil
 }
 
 // runExec drives one prepared run on e: init, policy setup, the
 // scheduler loop. On success the caller harvests e.result(); on error
 // e holds no live gang and can be released or reused.
-func (m *Machine) runExec(e *exec, opts *ExecOptions, tbl *poolTable, flavor, maxCycles int, flt *fault.Lowered) error {
-	e.init(m, opts, tbl, flavor, flt)
+func (m *Machine) runExec(e *exec, opts *ExecOptions, tbl *poolTable, flavor, maxCycles int, flt *fault.Lowered, lm *linkmodel.Lowered) error {
+	e.init(m, opts, tbl, flavor, flt, lm)
 	e.ctx = assign.Context{
 		Program:         m.prog,
 		Routes:          m.routes,
@@ -544,13 +566,13 @@ func (m *Machine) runExec(e *exec, opts *ExecOptions, tbl *poolTable, flavor, ma
 // configuration problems; run-time deadlock is a Result, not an
 // error. Run is safe for concurrent use.
 func (m *Machine) Run(opts ExecOptions) (*Result, error) {
-	maxCycles, tbl, flavor, flt, err := m.prepare(&opts)
+	maxCycles, tbl, flavor, flt, lm, err := m.prepare(&opts)
 	if err != nil {
 		return nil, err
 	}
 	pool := m.execs.Load()
 	e := pool.Get().(*exec)
-	if err := m.runExec(e, &opts, tbl, flavor, maxCycles, flt); err != nil {
+	if err := m.runExec(e, &opts, tbl, flavor, maxCycles, flt, lm); err != nil {
 		e.release()
 		pool.Put(e)
 		return nil, err

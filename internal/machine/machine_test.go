@@ -174,22 +174,31 @@ func TestMachineResetKeepsWorking(t *testing.T) {
 // a typed ConfigError, not a silently wrapped (tiny or negative)
 // cycle bound.
 func TestMaxCyclesForOverflowGuard(t *testing.T) {
-	if n, err := maxCyclesFor(100, 10); err != nil || n != 16*101*11+4096 {
-		t.Fatalf("maxCyclesFor(100,10) = %d, %v", n, err)
+	if n, err := maxCyclesFor(100, 10, 1); err != nil || n != 16*101*11+4096 {
+		t.Fatalf("maxCyclesFor(100,10,1) = %d, %v", n, err)
 	}
-	if n, err := maxCyclesFor(0, 0); err != nil || n != 1<<14 {
-		t.Fatalf("floor: maxCyclesFor(0,0) = %d, %v", n, err)
+	if n, err := maxCyclesFor(0, 0, 1); err != nil || n != 1<<14 {
+		t.Fatalf("floor: maxCyclesFor(0,0,1) = %d, %v", n, err)
 	}
-	for _, tc := range [][2]int{
-		{math.MaxInt / 16, 4},
-		{math.MaxInt, math.MaxInt},
-		{1 << 40, 1 << 40},
-		{-1, 3},
+	// A link-latency factor scales the work term before the additive
+	// slack, and a factor below 1 is treated as unit.
+	if n, err := maxCyclesFor(100, 10, 4); err != nil || n != 16*101*11*4+4096 {
+		t.Fatalf("maxCyclesFor(100,10,4) = %d, %v", n, err)
+	}
+	if n, err := maxCyclesFor(100, 10, 0); err != nil || n != 16*101*11+4096 {
+		t.Fatalf("maxCyclesFor(100,10,0) = %d, %v", n, err)
+	}
+	for _, tc := range [][3]int{
+		{math.MaxInt / 16, 4, 1},
+		{math.MaxInt, math.MaxInt, 1},
+		{1 << 40, 1 << 40, 1},
+		{-1, 3, 1},
+		{math.MaxInt / 100, 4, 7}, // fits at factor 1, overflows at 7
 	} {
-		_, err := maxCyclesFor(tc[0], tc[1])
+		_, err := maxCyclesFor(tc[0], tc[1], tc[2])
 		var ce *ConfigError
 		if !errors.As(err, &ce) {
-			t.Fatalf("maxCyclesFor(%d,%d) err = %v, want *ConfigError", tc[0], tc[1], err)
+			t.Fatalf("maxCyclesFor(%d,%d,%d) err = %v, want *ConfigError", tc[0], tc[1], tc[2], err)
 		}
 		if ce.Field != "MaxCycles" {
 			t.Fatalf("overflow reported on field %q, want MaxCycles", ce.Field)

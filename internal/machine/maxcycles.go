@@ -7,27 +7,40 @@ import (
 
 // maxCyclesFor derives the default cycle bound for a run: generous
 // enough that any live configuration finishes, small enough that a
-// stall is detected promptly. The formula 16·(words+1)·(hops+1)+4096
-// (floored at 2^14) is the one the simulator has always used; the
-// multiplication is guarded so that pathological word counts × route
-// lengths return a typed ConfigError instead of silently wrapping
-// into a tiny or negative bound.
-func maxCyclesFor(words, hops int) (int, error) {
+// stall is detected promptly. The formula 16·(words+1)·(hops+1)·L+4096
+// (floored at 2^14) extends the one the simulator has always used with
+// the run's largest link-latency factor L (1 under unit timing): a
+// factor-L link stretches any schedule by at most L, so a bound that
+// ignored it would misreport slow-link runs as deadlocks the moment
+// they outran the unit-latency estimate. The multiplication is guarded
+// so that pathological word counts × route lengths × latencies return
+// a typed ConfigError instead of silently wrapping into a tiny or
+// negative bound.
+func maxCyclesFor(words, hops, linkFactor int) (int, error) {
 	const floor = 1 << 14
 	if words < 0 || hops < 0 {
 		return 0, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf("negative work estimate (words=%d, hops=%d)", words, hops)}
+	}
+	if linkFactor < 1 {
+		linkFactor = 1
 	}
 	if words == math.MaxInt || hops == math.MaxInt {
 		return 0, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf(
 			"derived cycle bound 16·(%d+1)·(%d+1)+4096 overflows int; set MaxCycles explicitly", words, hops)}
 	}
 	w, h := words+1, hops+1
-	// n = 16*w*h + 4096 must fit in int: reject when w > (MaxInt-4096)/(16*h).
-	if w > (math.MaxInt-4096)/16/h {
+	// n = 16*w*h*linkFactor + 4096 must fit in int: reject when
+	// w > (MaxInt-4096)/(16*h*linkFactor), dividing stepwise so the
+	// guard itself cannot overflow.
+	if w > (math.MaxInt-4096)/16/h/linkFactor {
+		if linkFactor > 1 {
+			return 0, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf(
+				"derived cycle bound 16·(%d+1)·(%d+1)·%d (link slowdown) +4096 overflows int; set MaxCycles explicitly", words, hops, linkFactor)}
+		}
 		return 0, &ConfigError{Field: "MaxCycles", Reason: fmt.Sprintf(
 			"derived cycle bound 16·(%d+1)·(%d+1)+4096 overflows int; set MaxCycles explicitly", words, hops)}
 	}
-	n := 16*w*h + 4096
+	n := 16*w*h*linkFactor + 4096
 	if n < floor {
 		n = floor
 	}

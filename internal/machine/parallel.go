@@ -126,6 +126,12 @@ type sink struct {
 	issued   []int
 	dirty    []int
 	timeline []BindEvent
+	// linkHits holds one entry per word that crossed a link on this
+	// shard under a LinkModel; the coordinator folds them into the
+	// per-link tallies. Tally increments commute, so the fixed
+	// shard-order merge makes the folded counts — and the busy windows
+	// derived from them — identical for every worker count.
+	linkHits []int32
 
 	remainingDelta int
 	wordsMoved     int
@@ -149,6 +155,7 @@ func (sk *sink) reset() {
 	sk.issued = sk.issued[:0]
 	sk.dirty = sk.dirty[:0]
 	sk.timeline = sk.timeline[:0]
+	sk.linkHits = sk.linkHits[:0]
 	sk.remainingDelta = 0
 	sk.wordsMoved = 0
 	sk.releases = 0
@@ -279,6 +286,12 @@ func (e *exec) mergeSinks() {
 		e.issuedList = append(e.issuedList, sk.issued...)
 		for _, c := range sk.dirty {
 			e.dirty.add(c)
+		}
+		for _, l := range sk.linkHits {
+			if e.lmTally[l] == 0 {
+				e.lmDirty = append(e.lmDirty, l)
+			}
+			e.lmTally[l]++
 		}
 		e.remaining += sk.remainingDelta
 		e.stats.WordsMoved += sk.wordsMoved

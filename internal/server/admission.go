@@ -97,13 +97,24 @@ func (a *admission) overloaded() error {
 
 // retryAfter estimates whole seconds until a slot plausibly frees:
 // the backlog (running + waiting) divided by capacity, floored at 1 —
-// rough, monotone in load, and cheap.
+// rough, monotone in load, and cheap. Every denominator and counter is
+// guarded: an unbounded (nil) limiter has capacity 0, a -max-concurrency
+// of 1 with an empty wait pool can shed while the last run releases
+// (occupancy 0), and the waiting counter is read outside the shed
+// path's own increment — none of those may ever produce a Retry-After
+// of 0, which RFC 9110 clients read as "retry immediately" and turn
+// into a busy loop against a saturated daemon.
 func (a *admission) retryAfter() int {
 	c := a.limiter.Cap()
 	if c <= 0 {
+		// Unset/unbounded capacity: no occupancy math is meaningful,
+		// but the shed still needs a positive hint.
 		return 1
 	}
-	backlog := a.limiter.InUse() + int(a.waiting.Load())
+	backlog := a.limiter.InUse()
+	if w := int(a.waiting.Load()); w > 0 {
+		backlog += w
+	}
 	retry := (backlog + c - 1) / c
 	if retry < 1 {
 		retry = 1

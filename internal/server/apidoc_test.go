@@ -95,6 +95,7 @@ func TestAPIDocExamplesMatchWireTypes(t *testing.T) {
 		"v1/sweep-request":         func() any { return new(SweepRequest) },
 		"v1/sweep-response":        func() any { return new(SweepResponse) },
 		"v1/sweep-stream-row":      func() any { return new(SweepOutcome) },
+		"v1/sweep-outcome":         func() any { return new(SweepOutcome) },
 		"v1/sweep-stream-summary":  func() any { return new(SweepStreamSummary) },
 		"v1/stats-response":        func() any { return new(StatsResponse) },
 		"v1/tenants-file":          func() any { return new(tenantsFile) },

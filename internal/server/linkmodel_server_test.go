@@ -1,0 +1,103 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestRunEndpointLinkModel: the run endpoint's linkModel field retimes
+// the interconnect — a fixed delay completes late but completes, the
+// response echoes the canonical spec, a unit-equivalent model answers
+// byte-identically to no model at all (modulo the response ID), and
+// malformed specs are 400s.
+func TestRunEndpointLinkModel(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{
+		Program: relayDSL, LinkModel: "fixed,delay=3",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var retimed RunResponse
+	if err := json.Unmarshal(body, &retimed); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if retimed.Outcome != "completed" {
+		t.Fatalf("a fixed delay should only stretch the run, got %q", retimed.Outcome)
+	}
+	if retimed.LinkModel != "fixed,delay=3" {
+		t.Fatalf("link model echoed as %q, want %q", retimed.LinkModel, "fixed,delay=3")
+	}
+
+	_, clean := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: relayDSL})
+	_, unit := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: relayDSL, LinkModel: "fixed,delay=1"})
+	var cr, ur RunResponse
+	if err := json.Unmarshal(clean, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := json.Unmarshal(unit, &ur); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if ur.LinkModel != "fixed,delay=1" {
+		t.Fatalf("unit-equivalent model echoed as %q", ur.LinkModel)
+	}
+	cr.ID, ur.ID = "", ""
+	ur.LinkModel = ""
+	if !reflect.DeepEqual(cr, ur) {
+		t.Fatalf("delay-1 model changed the simulated response:\n%+v\nvs\n%+v", cr, ur)
+	}
+	if cr.Cycles >= retimed.Cycles {
+		t.Fatalf("retiming did not stretch the run: clean %d cycles, retimed %d", cr.Cycles, retimed.Cycles)
+	}
+
+	for _, bad := range []string{"fixed,delay=nope", "warp9", "fixed,delay=3,delay=4"} {
+		if resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Program: relayDSL, LinkModel: bad}); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed spec %q: status %d: %s", bad, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestSweepEndpointLinkModels: the sweep endpoint's linkModels axis
+// multiplies the grid, every outcome names its spec, and malformed
+// specs refuse the whole sweep with 400 before any streaming
+// commitment.
+func TestSweepEndpointLinkModels(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := SweepRequest{
+		Program:    relayDSL,
+		Policies:   []string{"compatible"},
+		Queues:     []int{2},
+		Capacities: []int{1},
+		Lookaheads: []int{0},
+		LinkModels: []string{"", "fixed,delay=3"},
+		Seed:       1,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(sr.Outcomes) != 2 {
+		t.Fatalf("%d outcomes, want 2 (the link axis doubles the grid)", len(sr.Outcomes))
+	}
+	unit, retimed := sr.Outcomes[0], sr.Outcomes[1]
+	if unit.LinkModel != "" || retimed.LinkModel != "fixed,delay=3" {
+		t.Fatalf("outcome link models %q, %q", unit.LinkModel, retimed.LinkModel)
+	}
+	if unit.Result != "completed" || retimed.Result != "completed" {
+		t.Fatalf("outcomes %+v", sr.Outcomes)
+	}
+	if unit.Cycles >= retimed.Cycles {
+		t.Fatalf("retimed point did not stretch: unit %d cycles, retimed %d", unit.Cycles, retimed.Cycles)
+	}
+
+	req.LinkModels = []string{"fixed,delay=nope"}
+	if resp, body := postJSON(t, ts.URL+"/v1/sweep", req); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed spec: status %d: %s", resp.StatusCode, body)
+	}
+}

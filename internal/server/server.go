@@ -40,6 +40,7 @@ import (
 	"systolic/internal/core"
 	"systolic/internal/dsl"
 	"systolic/internal/fault"
+	"systolic/internal/linkmodel"
 	"systolic/internal/machine"
 	"systolic/internal/model"
 	"systolic/internal/sweep"
@@ -352,6 +353,13 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 	if err != nil {
 		return badRequest(err)
 	}
+	var lplan *linkmodel.Plan
+	if req.LinkModel != "" {
+		lplan, err = linkmodel.ParseSpec(req.LinkModel)
+		if err != nil {
+			return badRequest(err)
+		}
+	}
 	e, cached, err := s.lookup(req.Program, runKey(req.Analyze))
 	if err != nil {
 		return err
@@ -391,6 +399,7 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 		Force:         req.Force,
 		Workers:       workers,
 		Faults:        plan,
+		LinkModel:     lplan,
 		// A dropped client cancels its simulation between cycles
 		// instead of burning the slot to completion.
 		Context: ctx,
@@ -413,6 +422,13 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest, resp *RunRespo
 	}
 	resp.Faults = res.Faults
 	resp.GatedOps = res.Stats.GatedOps
+	// Echo the model in canonical form (ParseSpec round-trips it); the
+	// engine Result itself never carries link timing, so the wire echo
+	// is the client's confirmation of what was simulated.
+	resp.LinkModel = ""
+	if lplan != nil {
+		resp.LinkModel = lplan.String()
+	}
 	return nil
 }
 
@@ -466,6 +482,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Queues:     req.Queues,
 		Capacities: req.Capacities,
 		Lookaheads: req.Lookaheads,
+		LinkModels: req.LinkModels,
 		Seed:       req.Seed,
 	}
 	for _, name := range req.Policies {
@@ -536,6 +553,7 @@ func wireOutcome(o sweep.Outcome) SweepOutcome {
 		Queues:    o.QueuesUsed,
 		Capacity:  o.Capacity,
 		Lookahead: o.Lookahead,
+		LinkModel: o.LinkModel,
 		Result:    o.Result,
 		Cycles:    o.Cycles,
 		Error:     o.Err,

@@ -74,6 +74,13 @@ type RunRequest struct {
 	// "cell:1:slow=2,link:0:sever@9". Empty runs the perfect array.
 	// Faults are per-run, not part of the cached analysis.
 	Faults string `json:"faults,omitempty"`
+	// LinkModel retimes the interconnect for this run, in the
+	// link-model spec grammar the CLI's -link-model flag shares, e.g.
+	// "fixed,delay=3" or "congestion,delay=2,threshold=2,max=4". Empty
+	// keeps unit-latency links. A malformed spec is refused with 400.
+	// Like faults, link models are per-run, not part of the cached
+	// analysis.
+	LinkModel string `json:"linkModel,omitempty"`
 }
 
 // RunResponse is the body returned by POST /v1/run.
@@ -95,6 +102,9 @@ type RunResponse struct {
 	// omitted for fault-free runs.
 	Faults   []string `json:"faults,omitempty"`
 	GatedOps int      `json:"gatedOps,omitempty"`
+	// LinkModel echoes the run's link-timing model in canonical spec
+	// form; omitted for unit-latency runs.
+	LinkModel string `json:"linkModel,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep. Empty axes take the
@@ -120,6 +130,11 @@ type SweepRequest struct {
 	// same spec grammar as the run endpoint. A plan that does not fit
 	// the program is refused with 400 up front.
 	Faults string `json:"faults,omitempty"`
+	// LinkModels is the link-timing axis: each entry is a link-model
+	// spec ("" = unit-latency links), and the grid multiplies by the
+	// axis exactly like queues or capacities. Empty sweeps unit links
+	// only. A malformed spec refuses the sweep with 400.
+	LinkModels []string `json:"linkModels,omitempty"`
 }
 
 // SweepOutcome is one grid point of a SweepResponse.
@@ -129,6 +144,9 @@ type SweepOutcome struct {
 	Queues    int    `json:"queues"`
 	Capacity  int    `json:"capacity"`
 	Lookahead int    `json:"lookahead"`
+	// LinkModel is the grid point's link-timing spec; omitted for
+	// unit-latency points.
+	LinkModel string `json:"linkModel,omitempty"`
 	// Result is "completed", "deadlocked", "timed-out", "rejected" or
 	// "error".
 	Result string `json:"result"`

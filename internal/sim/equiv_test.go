@@ -27,7 +27,17 @@ import (
 	"systolic/internal/fault"
 	"systolic/internal/gen"
 	"systolic/internal/label"
+	"systolic/internal/linkmodel"
 )
+
+// mustLinkModel parses a link-model spec for the config matrix.
+func mustLinkModel(spec string) *linkmodel.Plan {
+	p, err := linkmodel.ParseSpec(spec)
+	if err != nil {
+		panic(fmt.Sprintf("equiv_test: bad link-model spec %q: %v", spec, err))
+	}
+	return p
+}
 
 // equivCase is one (scenario seed, generation knobs) input. faultClass
 // selects a degraded-array regime: 0 runs the perfect array, 1 a
@@ -146,6 +156,27 @@ func equivConfigs(labels []int) []Config {
 	if labels != nil {
 		cfgs = append(cfgs, base(assign.Naive(assign.LabelDescending, 0), 1, 1))
 	}
+	// Link-timing rows: all three LinkModel kinds (uniform fixed
+	// slowdown, bandwidth-limited with a per-link override, congestion
+	// backpressure) replay through both engines at every worker count.
+	// The rows above pin the nil fast path; per-case fault plans apply
+	// to these rows too, so LinkModel × fault composition is replayed
+	// corpus-wide.
+	for _, spec := range []string{
+		"fixed,delay=3",
+		"fixed,delay=2,credit=1,link:0:delay=4",
+		"congestion,delay=1,threshold=2,max=4",
+	} {
+		lmrow := base(assign.Naive(assign.FCFS, 0), 2, 1)
+		lmrow.LinkModel = mustLinkModel(spec)
+		cfgs = append(cfgs, lmrow)
+	}
+	// One capacity-0 latch row under latency, so the rendezvous gate
+	// and tally sites are replayed as well (multi-hop scenarios reject
+	// capacity 0 identically in both engines).
+	latch := base(assign.Naive(assign.FCFS, 0), 1, 0)
+	latch.LinkModel = mustLinkModel("fixed,delay=2")
+	cfgs = append(cfgs, latch)
 	return cfgs
 }
 

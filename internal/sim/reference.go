@@ -15,6 +15,7 @@ import (
 
 	"systolic/internal/assign"
 	"systolic/internal/fault"
+	"systolic/internal/linkmodel"
 	"systolic/internal/model"
 	"systolic/internal/queue"
 	"systolic/internal/topology"
@@ -77,6 +78,19 @@ type runner struct {
 	// compiled machine's, each checked after every fault-free readiness
 	// criterion, keeping the engines byte-identical under degradation.
 	faults *fault.Lowered
+
+	// lm mirrors the compiled machine's link-timing state exactly:
+	// lmNextFree[l] is the first cycle link l is free again, lmTally[l]
+	// the words that crossed it this cycle, lmDirty the links with a
+	// non-zero tally, lmBusyMax the largest nextFree ever set. Gates
+	// sit immediately before the fault link gates at the three
+	// link-crossing sites; the end-of-cycle fold (lmEndCycle) runs
+	// right after the release phase, as in the machine.
+	lm         *linkmodel.Lowered
+	lmNextFree []int
+	lmTally    []int32
+	lmDirty    []int32
+	lmBusyMax  int
 
 	res   Result
 	stats Stats
@@ -172,6 +186,13 @@ func referenceRun(p *model.Program, cfg Config) (*Result, error) {
 		}
 		flt = fault.Lower(cfg.Faults, p.NumCells(), len(links))
 	}
+	var lmo *linkmodel.Lowered
+	if cfg.LinkModel != nil {
+		if lerr := cfg.LinkModel.Validate(len(links)); lerr != nil {
+			return nil, &ConfigError{Field: "LinkModel", Reason: lerr.Error()}
+		}
+		lmo = linkmodel.Lower(cfg.LinkModel, len(links))
+	}
 	logic := cfg.Logic
 	if logic == nil {
 		logic = SyntheticLogic{}
@@ -180,6 +201,7 @@ func referenceRun(p *model.Program, cfg Config) (*Result, error) {
 	r := runnerPool.Get().(*runner)
 	r.p, r.cfg, r.logic, r.routes, r.links = p, cfg, logic, routes, links
 	r.faults = flt
+	r.lm = lmo
 	r.setup()
 
 	// Competing sets are keyed by pool: the whole link under the
@@ -205,7 +227,13 @@ func referenceRun(p *model.Program, cfg Config) (*Result, error) {
 
 	maxCycles := cfg.MaxCycles
 	if maxCycles <= 0 {
-		maxCycles = defaultMaxCycles(p, routes)
+		linkFactor := 1
+		if lmo != nil {
+			// Same scaling as the compiled machine: slow links stretch
+			// the derived bound by the largest latency factor.
+			linkFactor = lmo.MaxFactor()
+		}
+		maxCycles = defaultMaxCycles(p, routes, linkFactor)
 		if flt != nil {
 			// Same scaling as the compiled machine: the derived bound
 			// stretches by the largest periodic factor, and a user-set
@@ -229,11 +257,16 @@ func referenceRun(p *model.Program, cfg Config) (*Result, error) {
 		r.grantPhase()
 		r.cellAndTransferPhase()
 		r.releasePhase()
+		if r.lm != nil {
+			r.lmEndCycle()
+		}
 		r.accountBlocked()
-		if !r.moved && !r.anyCooling() && (r.faults == nil || r.faults.AllPeriodicOpen(r.now)) {
+		if !r.moved && !r.anyCooling() && (r.faults == nil || r.faults.AllPeriodicOpen(r.now)) &&
+			(r.lm == nil || r.now >= r.lmBusyMax) {
 			// A no-event cycle proves deadlock only if every periodic
 			// fault gate was open (dead/severed elements never reopen
-			// and are rightly excluded) — same rule as the machine.
+			// and are rightly excluded) and no link is still inside a
+			// finite busy window — same rules as the machine.
 			r.res.Deadlocked = true
 			r.res.Blocked = r.blockedReport()
 			break
@@ -272,6 +305,7 @@ func (r *runner) release() {
 	r.cfg = Config{}
 	r.received = nil
 	r.faults = nil
+	r.lm = nil
 	r.res = Result{}
 	r.stats = Stats{}
 	for i := range r.msgs {
@@ -280,13 +314,16 @@ func (r *runner) release() {
 	runnerPool.Put(r)
 }
 
-func defaultMaxCycles(p *model.Program, routes [][]topology.Hop) int {
+func defaultMaxCycles(p *model.Program, routes [][]topology.Hop, linkFactor int) int {
 	words, hops := 0, 0
 	for _, m := range p.Messages() {
 		words += m.Words
 		hops += len(routes[m.ID])
 	}
-	n := 16*(words+1)*(hops+1) + 4096
+	if linkFactor < 1 {
+		linkFactor = 1
+	}
+	n := 16*(words+1)*(hops+1)*linkFactor + 4096
 	if n < 1<<14 {
 		n = 1 << 14
 	}
@@ -358,8 +395,47 @@ func (r *runner) setup() {
 	r.issued = grow(r.issued, p.NumCells())
 	clear(r.pc)
 	clear(r.issued)
+	r.lmBusyMax = 0
+	if r.lm != nil {
+		n := len(r.links)
+		r.lmNextFree = grow(r.lmNextFree, n)
+		r.lmTally = grow(r.lmTally, n)
+		clear(r.lmNextFree)
+		clear(r.lmTally)
+		r.lmDirty = r.lmDirty[:0]
+	}
 	r.received = make([][]Word, p.NumMessages())
 	r.stats.BlockedCycles = make([]int, p.NumCells())
+}
+
+// linkFree reports whether link lk can carry words this cycle (not
+// inside a busy window). Callers gate with r.lm != nil.
+func (r *runner) linkFree(lk topology.LinkID) bool {
+	return r.now >= r.lmNextFree[lk]
+}
+
+// noteLinkHit tallies one word crossing link lk this cycle. Callers
+// gate with r.lm != nil.
+func (r *runner) noteLinkHit(lk topology.LinkID) {
+	if r.lmTally[lk] == 0 {
+		r.lmDirty = append(r.lmDirty, int32(lk))
+	}
+	r.lmTally[lk]++
+}
+
+// lmEndCycle closes the cycle's link occupancy, exactly as the
+// compiled machine's fold does: nextFree = now + Busy(link, tally) for
+// every link with traffic, then tallies reset.
+func (r *runner) lmEndCycle() {
+	for _, l := range r.lmDirty {
+		nf := r.now + r.lm.Busy(topology.LinkID(l), r.lmTally[l])
+		r.lmNextFree[l] = nf
+		if nf > r.lmBusyMax {
+			r.lmBusyMax = nf
+		}
+		r.lmTally[l] = 0
+	}
+	r.lmDirty = r.lmDirty[:0]
 }
 
 func (r *runner) done() bool {
@@ -544,11 +620,19 @@ func (r *runner) cellAndTransferPhase() {
 				continue
 			}
 			if src.q.FrontReady() && dst.q.CanAccept() {
+				if r.lm != nil && !r.linkFree(ms.route[hop+1].Link) {
+					// Busy-link stalls are timing, not degradation: no
+					// GatedOps.
+					continue
+				}
 				if r.faults != nil && !r.faults.LinkOpen(ms.route[hop+1].Link, r.now) {
 					r.stats.GatedOps++
 					continue
 				}
 				dst.q.Push(src.q.Pop())
+				if r.lm != nil {
+					r.noteLinkHit(ms.route[hop+1].Link)
+				}
 				ms.departed[hop]++
 				r.moved = true
 				r.stats.WordsMoved++
@@ -579,11 +663,17 @@ func (r *runner) cellAndTransferPhase() {
 		if !qi.q.CanAccept() {
 			continue
 		}
+		if r.lm != nil && !r.linkFree(ms.route[0].Link) {
+			continue
+		}
 		if r.faults != nil && (!r.faults.CellOpen(cell, r.now) || !r.faults.LinkOpen(ms.route[0].Link, r.now)) {
 			r.stats.GatedOps++
 			continue
 		}
 		qi.q.Push(r.logic.Produce(cell, op.Msg, ms.written))
+		if r.lm != nil {
+			r.noteLinkHit(ms.route[0].Link)
+		}
 		ms.written++
 		r.pc[c]++
 		r.issued[c] = true
@@ -616,6 +706,9 @@ func (r *runner) rendezvous() {
 		if rOp.Kind != model.Read || rOp.Msg != model.MessageID(id) {
 			continue
 		}
+		if r.lm != nil && !r.linkFree(ms.route[0].Link) {
+			continue
+		}
 		if r.faults != nil && (!r.faults.CellOpen(m.Sender, r.now) ||
 			!r.faults.CellOpen(m.Receiver, r.now) ||
 			!r.faults.LinkOpen(ms.route[0].Link, r.now)) {
@@ -625,6 +718,9 @@ func (r *runner) rendezvous() {
 		w := r.logic.Produce(m.Sender, m.ID, ms.written)
 		r.logic.OnRead(m.Receiver, m.ID, ms.read, w)
 		r.received[m.ID] = append(r.received[m.ID], w)
+		if r.lm != nil {
+			r.noteLinkHit(ms.route[0].Link)
+		}
 		ms.written++
 		ms.read++
 		ms.departed[0]++

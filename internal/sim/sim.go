@@ -24,6 +24,7 @@ package sim
 import (
 	"systolic/internal/assign"
 	"systolic/internal/fault"
+	"systolic/internal/linkmodel"
 	"systolic/internal/machine"
 	"systolic/internal/model"
 	"systolic/internal/queue"
@@ -115,6 +116,11 @@ type Config struct {
 	// throttled/severed links); nil runs the perfect array. See
 	// internal/fault and machine.ExecOptions.Faults.
 	Faults *fault.Plan
+	// LinkModel retimes the interconnect for this run (fixed per-link
+	// latency/bandwidth or congestion-sensitive backpressure); nil or
+	// a unit plan keeps unit-latency links. See internal/linkmodel and
+	// machine.ExecOptions.LinkModel.
+	LinkModel *linkmodel.Plan
 }
 
 // Run simulates the program to completion, deadlock, or the cycle
@@ -151,6 +157,7 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 		RecordTimeline:   cfg.RecordTimeline,
 		Workers:          cfg.Workers,
 		Faults:           cfg.Faults,
+		LinkModel:        cfg.LinkModel,
 	})
 }
 

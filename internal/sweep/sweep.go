@@ -23,6 +23,7 @@ import (
 
 	"systolic/internal/core"
 	"systolic/internal/fault"
+	"systolic/internal/linkmodel"
 	"systolic/internal/model"
 	"systolic/internal/sim"
 	"systolic/internal/topology"
@@ -96,6 +97,11 @@ type Axes struct {
 	// n > 0 classifies and labels with a uniform budget of n skipped
 	// writes per message per located pair.
 	Lookaheads []int
+	// LinkModels are link-timing specs (see linkmodel.ParseSpec); the
+	// empty string is the unit-latency interconnect. Empty means just
+	// unit timing — the link axis is opt-in, so default grids keep
+	// their historical shape.
+	LinkModels []string
 	// Seed feeds randomized policies; one seed keeps the whole grid
 	// deterministic.
 	Seed int64
@@ -110,6 +116,7 @@ func DefaultAxes() Axes {
 		Queues:     []int{0, 1, 2, 3},
 		Capacities: []int{1, 2},
 		Lookaheads: []int{0, 2},
+		LinkModels: []string{""},
 		Seed:       1,
 	}
 }
@@ -132,6 +139,9 @@ func (a Axes) WithDefaults() Axes {
 	if len(a.Lookaheads) == 0 {
 		a.Lookaheads = d.Lookaheads
 	}
+	if len(a.LinkModels) == 0 {
+		a.LinkModels = d.LinkModels
+	}
 	return a
 }
 
@@ -151,13 +161,35 @@ func (a Axes) Validate() error {
 			return fmt.Errorf("sweep: capacity %d < 1 (the latch regime needs a dedicated run, not a grid)", cp)
 		}
 	}
+	if _, err := a.linkPlans(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// linkPlans parses the (already defaulted or explicit) link-model axis
+// once: specs[i] lowers to plans[spec]. The empty spec maps to a nil
+// plan — the unit-latency interconnect.
+func (a Axes) linkPlans() (map[string]*linkmodel.Plan, error) {
+	plans := make(map[string]*linkmodel.Plan, len(a.LinkModels))
+	for _, spec := range a.LinkModels {
+		if spec == "" {
+			plans[spec] = nil
+			continue
+		}
+		p, err := linkmodel.ParseSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: link model %q: %v", spec, err)
+		}
+		plans[spec] = p
+	}
+	return plans, nil
 }
 
 // Size returns the number of grid points for numCases cases.
 func (a Axes) Size(numCases int) int {
 	a = a.WithDefaults()
-	return numCases * len(a.Policies) * len(a.Queues) * len(a.Capacities) * len(a.Lookaheads)
+	return numCases * len(a.Policies) * len(a.Queues) * len(a.Capacities) * len(a.Lookaheads) * len(a.LinkModels)
 }
 
 // Config is one grid point.
@@ -166,7 +198,8 @@ type Config struct {
 	Policy    core.PolicyKind
 	Queues    int // 0 = analysis minimum for the policy
 	Capacity  int
-	Lookahead int // 0 = strict crossing-off
+	Lookahead int    // 0 = strict crossing-off
+	LinkModel string // linkmodel spec; "" = unit-latency links
 	Seed      int64
 }
 
@@ -252,6 +285,11 @@ type Options struct {
 	// Analyze and machine compilation entirely. An error is reported
 	// per grid point exactly like a failed in-engine analysis.
 	Analysis func(caseIdx, lookahead int) (*core.Analysis, error)
+
+	// linkPlans maps each link-model axis spec to its parsed plan ("" →
+	// nil, the unit interconnect). Run fills it from Axes.LinkModels
+	// before fanning out, so runOne never re-parses on the hot path.
+	linkPlans map[string]*linkmodel.Plan
 }
 
 // Report is the order-stable result of a sweep: Outcomes[i] is grid
@@ -283,18 +321,27 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 	configs := make([]Config, 0, axes.Size(len(cases)))
 	for ci := range cases {
 		for _, la := range axes.Lookaheads {
-			for _, cp := range axes.Capacities {
-				for _, pol := range axes.Policies {
-					for _, q := range axes.Queues {
-						configs = append(configs, Config{
-							Case: ci, Policy: pol, Queues: q,
-							Capacity: cp, Lookahead: la, Seed: axes.Seed,
-						})
+			for _, lm := range axes.LinkModels {
+				for _, cp := range axes.Capacities {
+					for _, pol := range axes.Policies {
+						for _, q := range axes.Queues {
+							configs = append(configs, Config{
+								Case: ci, Policy: pol, Queues: q,
+								Capacity: cp, Lookahead: la, LinkModel: lm, Seed: axes.Seed,
+							})
+						}
 					}
 				}
 			}
 		}
 	}
+	// Validate parsed the axis already; re-parse here for the plan map
+	// runOne consults (one parse per distinct spec, not per point).
+	linkPlans, err := axes.linkPlans()
+	if err != nil {
+		return nil, err
+	}
+	opts.linkPlans = linkPlans
 
 	cache := newAnalysisCache(cases, opts.Analysis)
 	for _, cfg := range configs {
@@ -315,7 +362,7 @@ func Run(ctx context.Context, cases []Case, axes Axes, opts Options) (*Report, e
 	// sync.Pool. Outcomes still land in enumeration-order slots, so the
 	// report stays byte-identical for any worker count and either
 	// driver (see Options.PerPoint).
-	block := len(axes.Capacities) * len(axes.Policies) * len(axes.Queues)
+	block := len(axes.LinkModels) * len(axes.Capacities) * len(axes.Policies) * len(axes.Queues)
 	spans := splitColumns(len(configs), block, opts.Workers)
 	outcomes := make([]Outcome, len(configs))
 	if err := ForEach(ctx, len(spans), opts.Workers, func(si int) {
@@ -522,6 +569,7 @@ func runOne(ctx context.Context, c Case, cfg Config, a *core.Analysis, aerr erro
 		MaxCycles:     opts.MaxCycles,
 		Workers:       workers,
 		Faults:        opts.Faults,
+		LinkModel:     opts.linkPlans[cfg.LinkModel],
 		// Context threads the sweep's cancellation into the run itself:
 		// without it a cancelled caller (a dropped /v1/sweep client)
 		// only stops unstarted grid points while every in-flight
@@ -566,14 +614,18 @@ func (r *Report) Deadlocked() []Outcome {
 }
 
 // SafeBudgets returns, per case name, the smallest queues-per-link
-// budget that completed under every (capacity, lookahead) combination
+// budget that completed under every (capacity, lookahead, link-model)
+// combination
 // the case was simulated with for the given policy — the empirical
 // Theorem 1 budget. A budget only counts when it was actually run in
 // every combination (auto budgets can resolve differently per
 // analysis), and never failed anywhere. Cases with no such budget are
 // absent.
 func (r *Report) SafeBudgets(policy core.PolicyKind) map[string]int {
-	type combo struct{ capacity, lookahead int }
+	type combo struct {
+		capacity, lookahead int
+		linkModel           string
+	}
 	combos := make(map[string]map[combo]bool)              // all combos simulated per case
 	completedAt := make(map[string]map[int]map[combo]bool) // combos completed per budget
 	failed := make(map[string]map[int]bool)                // budgets that ever failed
@@ -581,7 +633,7 @@ func (r *Report) SafeBudgets(policy core.PolicyKind) map[string]int {
 		if o.Policy != policy || o.Result == "rejected" || o.Result == "error" {
 			continue
 		}
-		cb := combo{o.Capacity, o.Lookahead}
+		cb := combo{o.Capacity, o.Lookahead, o.LinkModel}
 		if combos[o.CaseName] == nil {
 			combos[o.CaseName] = make(map[combo]bool)
 		}
@@ -622,14 +674,23 @@ func (r *Report) SafeBudgets(policy core.PolicyKind) map[string]int {
 	return out
 }
 
+// linkModelLabel renders a Config.LinkModel spec for the table; the
+// empty spec is the unit-latency interconnect.
+func linkModelLabel(spec string) string {
+	if spec == "" {
+		return "unit"
+	}
+	return spec
+}
+
 // Table renders the report as a fixed-width text table, one row per
 // grid point in enumeration order, followed by a per-case summary of
 // deadlock counts and safe budgets. The rendering is deterministic:
 // equal reports produce byte-identical tables.
 func (r *Report) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %-18s %7s %9s %10s %12s %7s %9s\n",
-		"case", "policy", "queues", "capacity", "lookahead", "result", "cycles", "max-depth")
+	fmt.Fprintf(&b, "%-12s %-18s %7s %9s %10s %-14s %12s %7s %9s\n",
+		"case", "policy", "queues", "capacity", "lookahead", "link-model", "result", "cycles", "max-depth")
 	for _, o := range r.Outcomes {
 		queues := fmt.Sprintf("%d", o.QueuesUsed)
 		if o.Queues == 0 {
@@ -643,13 +704,13 @@ func (r *Report) Table() string {
 		if o.Result == "error" {
 			result = "error*"
 		}
-		fmt.Fprintf(&b, "%-12s %-18s %7s %9d %10d %12s %7d %9d\n",
-			o.CaseName, o.Policy.String(), queues, o.Capacity, o.Lookahead, result, o.Cycles, o.MaxQueueDepth)
+		fmt.Fprintf(&b, "%-12s %-18s %7s %9d %10d %-14s %12s %7d %9d\n",
+			o.CaseName, o.Policy.String(), queues, o.Capacity, o.Lookahead, linkModelLabel(o.LinkModel), result, o.Cycles, o.MaxQueueDepth)
 	}
 	for _, o := range r.Outcomes {
 		if o.Result == "error" {
-			fmt.Fprintf(&b, "* %s %s queues=%d capacity=%d lookahead=%d: %s\n",
-				o.CaseName, o.Policy.String(), o.QueuesUsed, o.Capacity, o.Lookahead, o.Err)
+			fmt.Fprintf(&b, "* %s %s queues=%d capacity=%d lookahead=%d link-model=%s: %s\n",
+				o.CaseName, o.Policy.String(), o.QueuesUsed, o.Capacity, o.Lookahead, linkModelLabel(o.LinkModel), o.Err)
 		}
 	}
 	b.WriteString("\n")

@@ -22,6 +22,7 @@
 //	{
 //	  "cases": [
 //	    {"workload": "fig7"},
+//	    {"workload": "fft", "topology": "hypercube"},
 //	    {"gen": {"seed": 42, "mutations": 2, "cyclic": true}}
 //	  ],
 //	  "axes": {
@@ -29,6 +30,7 @@
 //	    "queues": [0, 1, 2],
 //	    "capacities": [1, 2],
 //	    "lookaheads": [0, 2],
+//	    "link_models": ["", "fixed,delay=3"],
 //	    "seed": 1
 //	  },
 //	  "workers": 1,
@@ -37,7 +39,13 @@
 //
 // Workload names are the built-in paper figures (fig3, fig5p1, fig5p2,
 // fig5p3, fig6, fig7, fig8, fig9); "gen" derives a scenario from
-// internal/gen's seeded generator instead.
+// internal/gen's seeded generator instead. A case's optional
+// "topology" re-homes the program on a named interconnect (mesh,
+// torus2d, hypercube) sized to its cell count — the
+// topology-sensitivity experiment (testdata/topology.json) runs one
+// program across all three and compares cycle counts per CSV row.
+// The optional "link_models" axis retimes the interconnect per grid
+// point ("" = unit latency; see internal/linkmodel for the grammar).
 package main
 
 import (
@@ -53,6 +61,7 @@ import (
 	"systolic/internal/core"
 	"systolic/internal/gen"
 	"systolic/internal/sweep"
+	"systolic/internal/topology"
 	"systolic/internal/workload"
 )
 
@@ -64,18 +73,26 @@ type genSpec struct {
 }
 
 // caseSpec names one case: a built-in workload or a generated
-// scenario. Exactly one field must be set.
+// scenario. Exactly one of Workload/Gen must be set. Topology, when
+// set, re-homes the program on a named interconnect sized to its cell
+// count ("mesh", "torus2d", "hypercube") — the topology-sensitivity
+// experiment runs one program as several cases differing only here,
+// and the case name grows an "@topology" suffix so CSV rows compare
+// cycle counts across interconnects.
 type caseSpec struct {
 	Workload string   `json:"workload,omitempty"`
 	Gen      *genSpec `json:"gen,omitempty"`
+	Topology string   `json:"topology,omitempty"`
 }
 
-// axesSpec is the JSON shape of sweep.Axes, with policies by name.
+// axesSpec is the JSON shape of sweep.Axes, with policies by name and
+// link models in the shared spec grammar ("" = unit latency).
 type axesSpec struct {
 	Policies   []string `json:"policies"`
 	Queues     []int    `json:"queues"`
 	Capacities []int    `json:"capacities"`
 	Lookaheads []int    `json:"lookaheads"`
+	LinkModels []string `json:"link_models,omitempty"`
 	Seed       int64    `json:"seed"`
 }
 
@@ -131,10 +148,41 @@ var builtinWorkloads = map[string]func() *workload.Workload{
 	"sortnet":   mustWorkload(workload.PipelinedSort(workload.PipelinedSortOptions{Width: 8, Rounds: 4})),
 }
 
+// topologyFor resolves a named topology override sized to the
+// program's cell count: "mesh" and "torus2d" use the most-square
+// rows×cols factorization, "hypercube" requires a power-of-two count.
+func topologyFor(name string, cells int) (topology.Topology, error) {
+	switch name {
+	case "mesh", "torus2d":
+		r := 1
+		for d := 1; d*d <= cells; d++ {
+			if cells%d == 0 {
+				r = d
+			}
+		}
+		if name == "mesh" {
+			return topology.Mesh2D(r, cells/r), nil
+		}
+		return topology.Torus2D(r, cells/r), nil
+	case "hypercube":
+		dim := 0
+		for 1<<dim < cells {
+			dim++
+		}
+		if 1<<dim != cells {
+			return nil, fmt.Errorf("hypercube needs a power-of-two cell count, program has %d cells", cells)
+		}
+		return topology.Hypercube(dim), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want mesh, torus2d, or hypercube)", name)
+	}
+}
+
 // buildCases resolves every case spec to a sweep case.
 func buildCases(specs []caseSpec) ([]sweep.Case, error) {
 	cases := make([]sweep.Case, 0, len(specs))
 	for i, spec := range specs {
+		var c sweep.Case
 		switch {
 		case spec.Workload != "" && spec.Gen == nil:
 			mk, ok := builtinWorkloads[spec.Workload]
@@ -142,7 +190,7 @@ func buildCases(specs []caseSpec) ([]sweep.Case, error) {
 				return nil, fmt.Errorf("case %d: unknown workload %q", i, spec.Workload)
 			}
 			w := mk()
-			cases = append(cases, sweep.Case{Name: spec.Workload, Program: w.Program, Topology: w.Topology})
+			c = sweep.Case{Name: spec.Workload, Program: w.Program, Topology: w.Topology}
 		case spec.Gen != nil && spec.Workload == "":
 			sc, err := gen.Generate(spec.Gen.Seed, gen.Options{
 				Mutations: spec.Gen.Mutations,
@@ -151,14 +199,23 @@ func buildCases(specs []caseSpec) ([]sweep.Case, error) {
 			if err != nil {
 				return nil, fmt.Errorf("case %d: %v", i, err)
 			}
-			cases = append(cases, sweep.Case{
+			c = sweep.Case{
 				Name:     fmt.Sprintf("gen-%d", spec.Gen.Seed),
 				Program:  sc.Program,
 				Topology: sc.Topology,
-			})
+			}
 		default:
 			return nil, fmt.Errorf("case %d: exactly one of \"workload\" or \"gen\" must be set", i)
 		}
+		if spec.Topology != "" {
+			topo, err := topologyFor(spec.Topology, c.Program.NumCells())
+			if err != nil {
+				return nil, fmt.Errorf("case %d (%s): %v", i, c.Name, err)
+			}
+			c.Topology = topo
+			c.Name += "@" + spec.Topology
+		}
+		cases = append(cases, c)
 	}
 	return cases, nil
 }
@@ -169,6 +226,7 @@ func buildAxes(spec axesSpec) (sweep.Axes, error) {
 		Queues:     spec.Queues,
 		Capacities: spec.Capacities,
 		Lookaheads: spec.Lookaheads,
+		LinkModels: spec.LinkModels,
 		Seed:       spec.Seed,
 	}
 	for _, name := range spec.Policies {
@@ -187,11 +245,17 @@ func buildAxes(spec axesSpec) (sweep.Axes, error) {
 // errored points, where auto never resolves).
 func writeCSV(rep *sweep.Report) string {
 	var b strings.Builder
-	b.WriteString("case,policy,queues,capacity,lookahead,result,cycles,max_depth\n")
+	b.WriteString("case,policy,queues,capacity,lookahead,link_model,result,cycles,max_depth\n")
 	for _, o := range rep.Outcomes {
-		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%s,%d,%d\n",
+		// Link-model specs use commas; the CSV cell swaps them for
+		// semicolons so rows stay cut/awk-friendly without quoting.
+		lm := strings.ReplaceAll(o.LinkModel, ",", ";")
+		if lm == "" {
+			lm = "unit"
+		}
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%s,%s,%d,%d\n",
 			o.CaseName, o.Policy.String(), o.QueuesUsed, o.Capacity, o.Lookahead,
-			o.Result, o.Cycles, o.MaxQueueDepth)
+			lm, o.Result, o.Cycles, o.MaxQueueDepth)
 	}
 	return b.String()
 }

@@ -68,10 +68,16 @@ func TestCSVShape(t *testing.T) {
 		Cycles:     41,
 	}}}
 	got := writeCSV(rep)
-	want := "case,policy,queues,capacity,lookahead,result,cycles,max_depth\n" +
-		"fig7,dynamic-compatible,3,2,2,completed,41,0\n"
+	want := "case,policy,queues,capacity,lookahead,link_model,result,cycles,max_depth\n" +
+		"fig7,dynamic-compatible,3,2,2,unit,completed,41,0\n"
 	if got != want {
 		t.Fatalf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+	// Link-model specs swap commas for semicolons so the cell stays a
+	// single cut-friendly CSV field.
+	rep.Outcomes[0].LinkModel = "fixed,delay=3"
+	if got := writeCSV(rep); !strings.Contains(got, ",fixed;delay=3,completed,") {
+		t.Fatalf("retimed row not semicolonized:\n%q", got)
 	}
 }
 
@@ -88,6 +94,81 @@ func TestBuildCasesValidation(t *testing.T) {
 	}
 	if _, err := buildAxes(axesSpec{Policies: []string{"not-a-policy"}}); err == nil {
 		t.Error("unknown policy accepted")
+	}
+	// Topology overrides: unknown names fail, and hypercube demands a
+	// power-of-two cell count (stencil is 3×3 = 9 cells).
+	if _, err := buildCases([]caseSpec{{Workload: "fig7", Topology: "moebius"}}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := buildCases([]caseSpec{{Workload: "stencil", Topology: "hypercube"}}); err == nil {
+		t.Error("hypercube over a 9-cell program accepted")
+	}
+}
+
+// TestTopologyConfigEndToEnd runs the committed topology-sensitivity
+// experiment: one FFT program re-homed on mesh, torus2d, and
+// hypercube, swept across all three link-timing models. The CSV is
+// byte-deterministic across runs (CI runs the binary twice and cmps),
+// names every interconnect, and actually shows topology sensitivity —
+// the same (policy, queues, link model) point must not cost the same
+// number of cycles on every interconnect.
+func TestTopologyConfigEndToEnd(t *testing.T) {
+	cfg, err := loadConfig(filepath.Join("testdata", "topology.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := buildCases(cfg.Cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axes, err := buildAxes(cfg.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, tm, err := runBoth(context.Background(), cases, axes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.points != axes.Size(len(cases)) {
+		t.Fatalf("ran %d grid points, config spans %d", tm.points, axes.Size(len(cases)))
+	}
+	csv1 := writeCSV(rep)
+	for _, want := range []string{"fft@mesh", "fft@torus2d", "fft@hypercube", "unit", "fixed;delay=3", "congestion;delay=1"} {
+		if !strings.Contains(csv1, want) {
+			t.Errorf("CSV missing %q", want)
+		}
+	}
+	rep2, _, err := runBoth(context.Background(), cases, axes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csv2 := writeCSV(rep2); csv1 != csv2 {
+		t.Fatal("two runs of the topology config produced different CSV bytes")
+	}
+	// Group cycle counts by everything except the case name: at least
+	// one configuration must separate the interconnects.
+	type key struct {
+		policy            string
+		queues, cap, look int
+		linkModel, result string
+	}
+	byCfg := map[key]map[int]bool{}
+	for _, o := range rep.Outcomes {
+		k := key{o.Policy.String(), o.QueuesUsed, o.Capacity, o.Lookahead, o.LinkModel, o.Result}
+		if byCfg[k] == nil {
+			byCfg[k] = map[int]bool{}
+		}
+		byCfg[k][o.Cycles] = true
+	}
+	sensitive := false
+	for _, cycles := range byCfg {
+		if len(cycles) > 1 {
+			sensitive = true
+			break
+		}
+	}
+	if !sensitive {
+		t.Error("every interconnect cost the same cycles at every point; the experiment shows no topology sensitivity")
 	}
 }
 
